@@ -1,0 +1,30 @@
+//! Criterion wrappers timing every experiment at quick scale — one bench
+//! per table/figure, so `cargo bench` regenerates (a reduced form of)
+//! each artifact and tracks the harness's own performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use predbranch_bench::{all_experiments, Scale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("experiments_quick");
+    group.sample_size(10);
+    for exp in all_experiments() {
+        group.bench_with_input(BenchmarkId::from_parameter(exp.id), &exp, |b, exp| {
+            b.iter(|| {
+                let artifacts = (exp.run)(&scale);
+                assert!(!artifacts.is_empty());
+                artifacts.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_experiments
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates the study's tables and figures as text.
+//!
+//! ```text
+//! experiments                # list experiments
+//! experiments all            # run everything (full suite)
+//! experiments f3 f5          # run selected experiments
+//! experiments --quick all    # 3-benchmark quick mode
+//! experiments --bars f5      # render series as text bar charts too
+//! experiments --markdown all # fence artifacts for EXPERIMENTS.md
+//! ```
+
+use std::process::ExitCode;
+
+use predbranch_bench::experiments::find_experiment;
+use predbranch_bench::{all_experiments, Scale};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = if let Some(pos) = args.iter().position(|a| a == "--quick") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let bars = if let Some(pos) = args.iter().position(|a| a == "--bars") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let markdown = if let Some(pos) = args.iter().position(|a| a == "--markdown") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+
+    if args.is_empty() {
+        println!("experiments — regenerate the study's tables and figures\n");
+        println!("usage: experiments [--quick] <id>... | all\n");
+        for exp in all_experiments() {
+            println!("  {:<4} {}", exp.id, exp.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected = if args.iter().any(|a| a == "all") {
+        all_experiments()
+    } else {
+        let mut chosen = Vec::new();
+        for id in &args {
+            match find_experiment(id) {
+                Some(exp) => chosen.push(exp),
+                None => {
+                    eprintln!("unknown experiment `{id}` (run with no arguments to list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        chosen
+    };
+
+    for exp in selected {
+        eprintln!("running {} — {} ...", exp.id, exp.title);
+        if markdown {
+            println!("## {} — {}\n", exp.id, exp.title);
+        }
+        for artifact in (exp.run)(&scale) {
+            if markdown {
+                println!("```text\n{artifact}```\n");
+            } else {
+                println!("{artifact}");
+            }
+            if bars {
+                if let predbranch_bench::Artifact::Series(series) = &artifact {
+                    println!("{}", series.to_bars(50));
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

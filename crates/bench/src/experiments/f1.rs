@@ -1,0 +1,67 @@
+//! F1 — motivation: if-conversion removes easy branches and concentrates
+//! mispredictions in the residue.
+//!
+//! A gshare baseline is run over each benchmark's plain and predicated
+//! binaries. If-conversion removes many (often well-predicted) branches;
+//! the surviving region-based branches carry a *higher* misprediction
+//! rate — the paper's opening observation.
+
+use predbranch_core::InsertFilter;
+use predbranch_stats::{mean, Cell, Table};
+
+use super::{base_spec, Artifact, Scale};
+use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let spec = base_spec();
+    let mut table = Table::new(
+        "F1: gshare misprediction rate, plain vs if-converted code",
+        &[
+            "bench",
+            "plain misp%",
+            "pred misp%",
+            "region misp%",
+            "plain MPKI",
+            "pred MPKI",
+        ],
+    );
+    let mut plain_rates = Vec::new();
+    let mut pred_rates = Vec::new();
+    let mut region_rates = Vec::new();
+    for entry in compiled_suite(scale.limit) {
+        let plain = run_spec(
+            &entry.compiled.plain,
+            entry.eval_input(),
+            &spec,
+            DEFAULT_LATENCY,
+            InsertFilter::All,
+        );
+        let pred = run_spec(
+            &entry.compiled.predicated,
+            entry.eval_input(),
+            &spec,
+            DEFAULT_LATENCY,
+            InsertFilter::All,
+        );
+        plain_rates.push(plain.misp_percent());
+        pred_rates.push(pred.misp_percent());
+        region_rates.push(pred.region_misp_percent());
+        table.row(vec![
+            Cell::new(entry.compiled.name),
+            Cell::percent(plain.misp_percent()),
+            Cell::percent(pred.misp_percent()),
+            Cell::percent(pred.region_misp_percent()),
+            Cell::float(plain.mpki(), 2),
+            Cell::float(pred.mpki(), 2),
+        ]);
+    }
+    table.row(vec![
+        Cell::new("mean"),
+        Cell::percent(mean(&plain_rates)),
+        Cell::percent(mean(&pred_rates)),
+        Cell::percent(mean(&region_rates)),
+        Cell::new("-"),
+        Cell::new("-"),
+    ]);
+    vec![Artifact::Table(table)]
+}

@@ -1,0 +1,60 @@
+//! F10 — PGU insertion-filter ablation: *which* predicate definitions
+//! should enter global history?
+//!
+//! Inserting everything maximizes correlation but dilutes history with
+//! uninformative bits (initializations, or-forwards); inserting only the
+//! compares that define some branch's guard keeps the history dense.
+//! The ablation also crosses the filter with insertion timing.
+
+use predbranch_core::{guard_def_pcs, InsertFilter};
+use predbranch_stats::{mean, Cell, Table};
+
+use super::{base_spec, Artifact, Scale};
+use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY, PGU_DELAY};
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let entries = compiled_suite(scale.limit);
+
+    let mut table = Table::new(
+        "F10: PGU misprediction rate (%) by insertion filter and delay",
+        &[
+            "bench",
+            "none (=gshare)",
+            "all defs d8",
+            "guard defs d8",
+            "all defs d0",
+            "guard defs d0",
+        ],
+    );
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for entry in &entries {
+        let guard_pcs = guard_def_pcs(&entry.compiled.predicated);
+        let configs: Vec<(u64, InsertFilter)> = vec![
+            (PGU_DELAY, InsertFilter::None),
+            (PGU_DELAY, InsertFilter::All),
+            (PGU_DELAY, InsertFilter::Pcs(guard_pcs.clone())),
+            (0, InsertFilter::All),
+            (0, InsertFilter::Pcs(guard_pcs)),
+        ];
+        let mut cells = vec![Cell::new(entry.compiled.name)];
+        for (col, (delay, insert)) in configs.into_iter().enumerate() {
+            let spec = base_spec().with_pgu(delay);
+            let out = run_spec(
+                &entry.compiled.predicated,
+                entry.eval_input(),
+                &spec,
+                DEFAULT_LATENCY,
+                insert,
+            );
+            columns[col].push(out.misp_percent());
+            cells.push(Cell::percent(out.misp_percent()));
+        }
+        table.row(cells);
+    }
+    let mut amean = vec![Cell::new("amean")];
+    for col in &columns {
+        amean.push(Cell::percent(mean(col)));
+    }
+    table.row(amean);
+    vec![Artifact::Table(table)]
+}

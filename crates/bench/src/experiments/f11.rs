@@ -1,0 +1,125 @@
+//! F11 — if-conversion aggressiveness (extension ablation).
+//!
+//! Sweeps the converter's bias threshold from conservative (only
+//! near-coin-flip branches convert) to total (everything convertible
+//! converts, leaving branchless hyperblock loops). For each setting the
+//! table reports the branch population, the misprediction rates, and —
+//! the number that actually matters — total pipeline cycles relative to
+//! the *plain* binary with the same gshare: predication removes flushes
+//! but pays fetch slots for both paths, and better region-branch
+//! prediction shifts the break-even point.
+
+use predbranch_core::InsertFilter;
+use predbranch_sim::{PipelineConfig, PipelineModel};
+use predbranch_stats::{mean, Cell, Table};
+use predbranch_workloads::{compile_benchmark, suite, CompileOptions, IfConvertConfig};
+
+use super::{base_spec, Artifact, Scale};
+use crate::runner::{run_spec, RunOutcome, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY};
+
+const THRESHOLDS: [f64; 5] = [0.55, 0.70, 0.85, 0.95, 1.01];
+
+fn cycles(out: &RunOutcome, pipe: &PipelineConfig) -> u64 {
+    PipelineModel::estimate(
+        pipe,
+        out.summary.instructions,
+        out.metrics.all.mispredictions.get(),
+        out.taken_branches(),
+    )
+    .cycles()
+}
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let pipe = PipelineConfig::default();
+    let base = base_spec();
+    let both = base.clone().with_sfpf().with_pgu(PGU_DELAY);
+    let benchmarks: Vec<_> = suite()
+        .into_iter()
+        .take(scale.limit.unwrap_or(usize::MAX))
+        .collect();
+
+    // plain-binary reference cycles per benchmark (threshold-independent)
+    let reference: Vec<u64> = benchmarks
+        .iter()
+        .map(|bench| {
+            let compiled = compile_benchmark(bench, &CompileOptions::default());
+            let entry = SuiteEntry { bench: bench.clone(), compiled };
+            let out = run_spec(
+                &entry.compiled.plain,
+                entry.eval_input(),
+                &base,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            );
+            cycles(&out, &pipe)
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "F11: if-conversion aggressiveness (suite means; cycles relative to plain+gshare)",
+        &[
+            "convert bias <",
+            "cond br kept%",
+            "gshare misp%",
+            "+both misp%",
+            "cycles gshare",
+            "cycles +both",
+        ],
+    );
+    for threshold in THRESHOLDS {
+        let opts = CompileOptions {
+            ifconv: IfConvertConfig {
+                convert_bias_below: threshold,
+                ..IfConvertConfig::default()
+            },
+            ..CompileOptions::default()
+        };
+        let mut kept_frac = Vec::new();
+        let mut misp_base = Vec::new();
+        let mut misp_both = Vec::new();
+        let mut rel_base = Vec::new();
+        let mut rel_both = Vec::new();
+        for (bench, &ref_cycles) in benchmarks.iter().zip(&reference) {
+            let compiled = compile_benchmark(bench, &opts);
+            let entry = SuiteEntry { bench: bench.clone(), compiled };
+            let out_plain_br = run_spec(
+                &entry.compiled.plain,
+                entry.eval_input(),
+                &base,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            );
+            let out_base = run_spec(
+                &entry.compiled.predicated,
+                entry.eval_input(),
+                &base,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            );
+            let out_both = run_spec(
+                &entry.compiled.predicated,
+                entry.eval_input(),
+                &both,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            );
+            kept_frac.push(
+                100.0 * out_base.summary.conditional_branches as f64
+                    / out_plain_br.summary.conditional_branches.max(1) as f64,
+            );
+            misp_base.push(out_base.misp_percent());
+            misp_both.push(out_both.misp_percent());
+            rel_base.push(cycles(&out_base, &pipe) as f64 / ref_cycles as f64);
+            rel_both.push(cycles(&out_both, &pipe) as f64 / ref_cycles as f64);
+        }
+        table.row(vec![
+            Cell::float(threshold, 2),
+            Cell::percent(mean(&kept_frac)),
+            Cell::percent(mean(&misp_base)),
+            Cell::percent(mean(&misp_both)),
+            Cell::float(mean(&rel_base), 3),
+            Cell::float(mean(&rel_both), 3),
+        ]);
+    }
+    vec![Artifact::Table(table)]
+}

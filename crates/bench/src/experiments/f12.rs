@@ -1,0 +1,70 @@
+//! F12 — squash-filter policy ablation (extension).
+//!
+//! Three design questions around the basic filter: does the symmetric
+//! known-true → predict-taken rule help, and should filtered branches
+//! still train the underlying predictor (keeping its history aligned)
+//! or be hidden from it (keeping its tables clean)?
+
+use predbranch_core::{InsertFilter, PredictorSpec};
+use predbranch_stats::{mean, Cell, Table};
+
+use super::{base_spec, Artifact, Scale};
+use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+
+fn policies() -> Vec<(&'static str, PredictorSpec)> {
+    let base = base_spec();
+    let sfpf = |known_true: bool, update_filtered: bool| PredictorSpec::Sfpf {
+        base: Box::new(base.clone()),
+        known_true,
+        update_filtered,
+        learned_guards: None,
+    };
+    vec![
+        ("no filter", base.clone()),
+        ("filter (paper)", sfpf(false, true)),
+        ("+ known-true rule", sfpf(true, true)),
+        ("hide filtered from tables", sfpf(false, false)),
+        ("both extensions", sfpf(true, false)),
+        (
+            "learned guard table (1K)",
+            PredictorSpec::Sfpf {
+                base: Box::new(base.clone()),
+                known_true: false,
+                update_filtered: true,
+                learned_guards: Some(10),
+            },
+        ),
+    ]
+}
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let entries = compiled_suite(scale.limit);
+    let mut table = Table::new(
+        "F12: squash-filter policy ablation (suite means)",
+        &["policy", "misp%", "filtered%", "region misp%"],
+    );
+    for (label, spec) in policies() {
+        let mut misp = Vec::new();
+        let mut coverage = Vec::new();
+        let mut region = Vec::new();
+        for entry in &entries {
+            let out = run_spec(
+                &entry.compiled.predicated,
+                entry.eval_input(),
+                &spec,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            );
+            misp.push(out.misp_percent());
+            coverage.push(out.metrics.filter_coverage().percent());
+            region.push(out.region_misp_percent());
+        }
+        table.row(vec![
+            Cell::new(label),
+            Cell::percent(mean(&misp)),
+            Cell::percent(mean(&coverage)),
+            Cell::percent(mean(&region)),
+        ]);
+    }
+    vec![Artifact::Table(table)]
+}

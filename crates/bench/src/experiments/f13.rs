@@ -1,0 +1,53 @@
+//! F13 — sensitivity to the predicate resolve latency (extension).
+//!
+//! The machine's compare-to-fetch latency determines how much predicate
+//! information the front end has. Sweeping it moves both techniques
+//! between their ideal (latency 0: SFPF sees every guard, and the whole
+//! machine is effectively an oracle) and their useless extreme.
+
+use predbranch_core::InsertFilter;
+use predbranch_stats::{mean, Series};
+
+use super::{base_spec, Artifact, Scale};
+use crate::runner::{compiled_suite, run_spec, PGU_DELAY};
+
+const LATENCIES: [u64; 7] = [0, 2, 4, 8, 12, 16, 32];
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let entries = compiled_suite(scale.limit);
+    let base = base_spec();
+    let specs = [
+        ("gshare", base.clone()),
+        ("+SFPF", base.clone().with_sfpf()),
+        ("+both", base.with_sfpf().with_pgu(PGU_DELAY)),
+    ];
+
+    let mut series = Series::new(
+        "F13: suite-mean misprediction rate (%) vs predicate resolve latency",
+        "latency",
+    );
+    for (label, _) in &specs {
+        series.line(*label);
+    }
+    for latency in LATENCIES {
+        let mut ys = Vec::with_capacity(specs.len());
+        for (_, spec) in &specs {
+            let rates: Vec<f64> = entries
+                .iter()
+                .map(|entry| {
+                    run_spec(
+                        &entry.compiled.predicated,
+                        entry.eval_input(),
+                        spec,
+                        latency,
+                        InsertFilter::All,
+                    )
+                    .misp_percent()
+                })
+                .collect();
+            ys.push(mean(&rates));
+        }
+        series.point(latency.to_string(), &ys);
+    }
+    vec![Artifact::Series(series)]
+}

@@ -1,0 +1,51 @@
+//! F14 — seed stability (extension): the headline result across
+//! independent evaluation inputs.
+//!
+//! Synthetic workloads invite the worry that a result is an artifact of
+//! one input draw. Each headline configuration runs on several fresh
+//! evaluation seeds (compilation stays trained on the canonical training
+//! seed); the table reports the suite-mean misprediction rate per
+//! configuration as mean ± 95% CI over seeds.
+
+use predbranch_core::InsertFilter;
+use predbranch_stats::{mean, Cell, Summary, Table};
+
+use super::{headline_specs, Artifact, Scale};
+use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+
+const SEEDS: [u64; 5] = [11, 222, 3_333, 44_444, 555_555];
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let entries = compiled_suite(scale.limit);
+    let mut table = Table::new(
+        "F14: headline result across evaluation seeds (suite mean misp%, n=5 seeds)",
+        &["config", "mean", "95% CI ±", "min", "max"],
+    );
+    for (label, spec) in headline_specs() {
+        let mut per_seed = Summary::new();
+        for seed in SEEDS {
+            let rates: Vec<f64> = entries
+                .iter()
+                .map(|entry| {
+                    run_spec(
+                        &entry.compiled.predicated,
+                        entry.bench.input(seed),
+                        &spec,
+                        DEFAULT_LATENCY,
+                        InsertFilter::All,
+                    )
+                    .misp_percent()
+                })
+                .collect();
+            per_seed.record(mean(&rates));
+        }
+        table.row(vec![
+            Cell::new(label),
+            Cell::percent(per_seed.mean()),
+            Cell::float(per_seed.confidence95(), 3),
+            Cell::percent(per_seed.min()),
+            Cell::percent(per_seed.max()),
+        ]);
+    }
+    vec![Artifact::Table(table)]
+}

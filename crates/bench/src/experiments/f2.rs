@@ -1,0 +1,69 @@
+//! F2 — fetch-time guard knowledge vs resolve latency: the squash
+//! filter's opportunity.
+//!
+//! For each scoreboard resolve latency, classify every fetched
+//! conditional branch of the predicated binaries by what fetch knows
+//! about its guard: known-false (squashable with 100% accuracy),
+//! known-true, or unresolved.
+
+use predbranch_sim::{Executor, GuardKnowledgeStats};
+use predbranch_stats::{mean, Cell, Series, Table};
+use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
+
+use super::{Artifact, Scale};
+use crate::runner::{compiled_suite, DEFAULT_LATENCY};
+
+const LATENCIES: [u64; 6] = [0, 2, 4, 8, 16, 32];
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let entries = compiled_suite(scale.limit);
+
+    let mut series = Series::new(
+        "F2a: fetch-time guard knowledge vs resolve latency (suite mean, % of cond branches)",
+        "latency",
+    );
+    series.line("known-false");
+    series.line("known-true");
+    series.line("unknown");
+    for latency in LATENCIES {
+        let mut kf = Vec::new();
+        let mut kt = Vec::new();
+        let mut unk = Vec::new();
+        for entry in &entries {
+            let stats = classify(entry, latency);
+            kf.push(stats.known_false().percent());
+            kt.push(stats.known_true().percent());
+            unk.push(stats.unknown().percent());
+        }
+        series.point(latency.to_string(), &[mean(&kf), mean(&kt), mean(&unk)]);
+    }
+
+    let mut table = Table::new(
+        "F2b: guard knowledge per benchmark at the default latency",
+        &["bench", "known-false%", "known-true%", "unknown%", "kf accuracy%"],
+    );
+    for entry in &entries {
+        let stats = classify(entry, DEFAULT_LATENCY);
+        let accuracy = if stats.known_false().numerator() == 0 {
+            Cell::new("-")
+        } else {
+            Cell::percent(stats.known_false_accuracy().percent())
+        };
+        table.row(vec![
+            Cell::new(entry.compiled.name),
+            Cell::percent(stats.known_false().percent()),
+            Cell::percent(stats.known_true().percent()),
+            Cell::percent(stats.unknown().percent()),
+            accuracy,
+        ]);
+    }
+    vec![Artifact::Series(series), Artifact::Table(table)]
+}
+
+fn classify(entry: &crate::runner::SuiteEntry, latency: u64) -> GuardKnowledgeStats {
+    let mut stats = GuardKnowledgeStats::new(latency);
+    let summary = Executor::new(&entry.compiled.predicated, entry.eval_input())
+        .run(&mut stats, DEFAULT_MAX_INSTRUCTIONS);
+    assert!(summary.halted);
+    stats
+}

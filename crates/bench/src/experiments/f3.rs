@@ -1,0 +1,46 @@
+//! F3 — the headline figure: per-benchmark misprediction rates of the
+//! gshare baseline vs +SFPF, +PGU, and both, on predicated code.
+
+use predbranch_core::InsertFilter;
+use predbranch_stats::{geometric_mean, mean, Cell, Table};
+
+use super::{headline_specs, Artifact, Scale};
+use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let specs = headline_specs();
+    let mut header = vec!["bench"];
+    header.extend(specs.iter().map(|(label, _)| *label));
+    let mut table = Table::new(
+        "F3: conditional-branch misprediction rate (%), predicated binaries",
+        &header,
+    );
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+    for entry in compiled_suite(scale.limit) {
+        let mut cells = vec![Cell::new(entry.compiled.name)];
+        for (col, (_, spec)) in specs.iter().enumerate() {
+            let out = run_spec(
+                &entry.compiled.predicated,
+                entry.eval_input(),
+                spec,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            );
+            columns[col].push(out.misp_percent());
+            cells.push(Cell::percent(out.misp_percent()));
+        }
+        table.row(cells);
+    }
+
+    let mut amean = vec![Cell::new("amean")];
+    let mut relative = vec![Cell::new("vs gshare")];
+    let base_gmean = geometric_mean(&columns[0]).max(1e-9);
+    for col in &columns {
+        amean.push(Cell::percent(mean(col)));
+        relative.push(Cell::float(geometric_mean(col) / base_gmean, 3));
+    }
+    table.row(amean);
+    table.row(relative);
+    vec![Artifact::Table(table)]
+}

@@ -1,0 +1,66 @@
+//! F6 — PGU insertion-timing sensitivity.
+//!
+//! Sweeps the delay between a compare executing and its predicate bit
+//! entering global history: 0 models an ideal speculative front-end
+//! insertion, the resolve latency (8) models commit-time update, larger
+//! values model a sluggish update path. Also reports the measured
+//! guard-definition-to-branch distances, which bound how much delay the
+//! correlation can survive.
+
+use predbranch_core::InsertFilter;
+use predbranch_sim::{ExecMetrics, Executor};
+use predbranch_stats::{mean, Cell, Series, Table};
+use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
+
+use super::{base_spec, Artifact, Scale};
+use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+
+const DELAYS: [u64; 7] = [0, 1, 2, 4, 8, 16, 32];
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let entries = compiled_suite(scale.limit);
+
+    let mut series = Series::new(
+        "F6a: suite-mean misprediction rate (%) vs PGU insertion delay",
+        "delay",
+    );
+    series.line("+PGU");
+    for delay in DELAYS {
+        let spec = base_spec().with_pgu(delay);
+        let rates: Vec<f64> = entries
+            .iter()
+            .map(|entry| {
+                run_spec(
+                    &entry.compiled.predicated,
+                    entry.eval_input(),
+                    &spec,
+                    DEFAULT_LATENCY,
+                    InsertFilter::All,
+                )
+                .misp_percent()
+            })
+            .collect();
+        series.point(delay.to_string(), &[mean(&rates)]);
+    }
+
+    let mut table = Table::new(
+        "F6b: guard definition-to-branch distance (fetch slots)",
+        &["bench", "mean", "p50<=", "max", "samples"],
+    );
+    for entry in &entries {
+        let mut metrics = ExecMetrics::new();
+        let summary = Executor::new(&entry.compiled.predicated, entry.eval_input())
+            .run(&mut metrics, DEFAULT_MAX_INSTRUCTIONS);
+        assert!(summary.halted);
+        let hist = metrics.guard_distance();
+        let median_edge = hist.percentile_upper_bound(0.5).unwrap_or(0);
+        table.row(vec![
+            Cell::new(entry.compiled.name),
+            Cell::float(hist.mean(), 1),
+            Cell::count(median_edge),
+            Cell::count(hist.max()),
+            Cell::count(hist.count()),
+        ]);
+    }
+    vec![Artifact::Series(series), Artifact::Table(table)]
+}

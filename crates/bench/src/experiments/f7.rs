@@ -1,0 +1,91 @@
+//! F7 — robustness: applying the techniques to different baseline
+//! predictors (bimodal, gshare, local, tournament).
+//!
+//! SFPF composes with anything; PGU needs a global history register, so
+//! it applies to gshare and tournament only (for bimodal and local the
+//! +PGU column equals the base by construction).
+
+use predbranch_core::{InsertFilter, PredictorSpec};
+use predbranch_stats::{mean, Cell, Table};
+
+use super::{Artifact, Scale};
+use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY, PGU_DELAY};
+
+fn baselines() -> Vec<(&'static str, PredictorSpec)> {
+    vec![
+        ("bimodal", PredictorSpec::Bimodal { index_bits: 14 }),
+        (
+            "gshare",
+            PredictorSpec::Gshare {
+                index_bits: 13,
+                history_bits: 13,
+            },
+        ),
+        (
+            "local",
+            PredictorSpec::Local {
+                bht_bits: 10,
+                history_bits: 10,
+                pattern_bits: 12,
+            },
+        ),
+        (
+            "tournament",
+            PredictorSpec::Tournament {
+                gshare_bits: 12,
+                history_bits: 12,
+                bimodal_bits: 12,
+                chooser_bits: 12,
+            },
+        ),
+        (
+            "perceptron",
+            PredictorSpec::Perceptron {
+                index_bits: 7,
+                history_bits: 14,
+            },
+        ),
+        (
+            "agree",
+            PredictorSpec::Agree {
+                index_bits: 12,
+                history_bits: 12,
+            },
+        ),
+    ]
+}
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let entries = compiled_suite(scale.limit);
+    let mut table = Table::new(
+        "F7: suite-mean misprediction rate (%) per baseline predictor",
+        &["baseline", "base", "+SFPF", "+PGU", "+both"],
+    );
+    for (name, base) in baselines() {
+        let variants = [
+            base.clone(),
+            base.clone().with_sfpf(),
+            base.clone().with_pgu(PGU_DELAY),
+            base.with_sfpf().with_pgu(PGU_DELAY),
+        ];
+        let mut cells = vec![Cell::new(name)];
+        for spec in &variants {
+            let rates: Vec<f64> = entries
+                .iter()
+                .map(|entry| {
+                    run_spec(
+                        &entry.compiled.predicated,
+                        entry.eval_input(),
+                        spec,
+                        DEFAULT_LATENCY,
+                        InsertFilter::All,
+                    )
+                    .misp_percent()
+                })
+                .collect();
+            cells.push(Cell::percent(mean(&rates)));
+        }
+        table.row(cells);
+    }
+    vec![Artifact::Table(table)]
+}

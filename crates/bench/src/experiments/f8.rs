@@ -1,0 +1,81 @@
+//! F8 — pipeline-level effect: speedup from the reduced flush count.
+//!
+//! Cycles come from the event-driven [`FetchTimeline`] (fetch
+//! fragmentation at taken branches + full flush stalls), cross-checked
+//! against the closed-form [`PipelineModel`]; every configuration runs
+//! the same predicated binary, so speedups come purely from
+//! mispredictions avoided.
+
+use predbranch_core::{
+    build_predictor, HarnessConfig, InsertFilter, PredictionHarness,
+};
+use predbranch_sim::{Executor, PipelineConfig, PipelineModel};
+use predbranch_stats::{geometric_mean, Cell, Table};
+use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
+
+use super::{headline_specs, Artifact, Scale};
+use crate::runner::{compiled_suite, DEFAULT_LATENCY};
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let specs = headline_specs();
+    let pipe = PipelineConfig::default();
+    let mut table = Table::new(
+        "F8: IPC and speedup over the gshare baseline (event-driven fetch timeline)",
+        &[
+            "bench",
+            "IPC gshare",
+            "spd +SFPF",
+            "spd +PGU",
+            "spd +both",
+            "model IPC",
+        ],
+    );
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); specs.len() - 1];
+    for entry in compiled_suite(scale.limit) {
+        let mut cycles = Vec::with_capacity(specs.len());
+        let mut model_ipc = 0.0;
+        for (i, (_, spec)) in specs.iter().enumerate() {
+            let mut harness = PredictionHarness::new(
+                build_predictor(spec),
+                HarnessConfig {
+                    resolve_latency: DEFAULT_LATENCY,
+                    insert: InsertFilter::All,
+                },
+            )
+            .with_timeline(pipe);
+            let summary = Executor::new(&entry.compiled.predicated, entry.eval_input())
+                .run(&mut harness, 2 * DEFAULT_MAX_INSTRUCTIONS);
+            assert!(summary.halted);
+            let timeline = *harness.timeline().expect("timeline attached");
+            cycles.push((timeline.cycles(), timeline.ipc()));
+            if i == 0 {
+                let unconditional = summary.branches - summary.conditional_branches;
+                model_ipc = PipelineModel::estimate(
+                    &pipe,
+                    summary.instructions,
+                    harness.metrics().all.mispredictions.get(),
+                    summary.taken_conditional + unconditional,
+                )
+                .ipc();
+            }
+        }
+        let mut cells = vec![
+            Cell::new(entry.compiled.name),
+            Cell::float(cycles[0].1, 3),
+        ];
+        for (i, &(c, _)) in cycles.iter().enumerate().skip(1) {
+            let speedup = cycles[0].0 as f64 / c as f64;
+            speedups[i - 1].push(speedup);
+            cells.push(Cell::float(speedup, 4));
+        }
+        cells.push(Cell::float(model_ipc, 3));
+        table.row(cells);
+    }
+    let mut gmean = vec![Cell::new("gmean"), Cell::new("-")];
+    for col in &speedups {
+        gmean.push(Cell::float(geometric_mean(col), 4));
+    }
+    gmean.push(Cell::new("-"));
+    table.row(gmean);
+    vec![Artifact::Table(table)]
+}

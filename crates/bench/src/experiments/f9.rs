@@ -1,0 +1,74 @@
+//! F9 — oracle headroom: how much of the distance to perfect prediction
+//! the techniques capture.
+//!
+//! The perfect-guard oracle is 100% accurate on this ISA (a branch *is*
+//! its guard), so the headroom is simply the baseline misprediction
+//! rate; the figure reports what fraction of it each configuration
+//! recovers, realistically timed and with ideal (zero-latency) predicate
+//! delivery.
+
+use predbranch_core::{InsertFilter, PredictorSpec};
+use predbranch_stats::{mean, Cell, Table};
+
+use super::{base_spec, Artifact, Scale};
+use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY, PGU_DELAY};
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let base = base_spec();
+    let both_real = base.clone().with_sfpf().with_pgu(PGU_DELAY);
+    let both_ideal = base.clone().with_sfpf().with_pgu(0);
+    let oracle = PredictorSpec::OracleGuard;
+
+    let mut table = Table::new(
+        "F9: misprediction rate (%) against the perfect-guard oracle",
+        &[
+            "bench",
+            "gshare",
+            "both (real)",
+            "both (ideal timing)",
+            "oracle",
+            "headroom captured%",
+        ],
+    );
+    let mut captured_all = Vec::new();
+    for entry in compiled_suite(scale.limit) {
+        let run1 = |spec: &PredictorSpec, latency: u64| {
+            run_spec(
+                &entry.compiled.predicated,
+                entry.eval_input(),
+                spec,
+                latency,
+                InsertFilter::All,
+            )
+            .misp_percent()
+        };
+        let b = run1(&base, DEFAULT_LATENCY);
+        let real = run1(&both_real, DEFAULT_LATENCY);
+        // ideal timing: zero resolve latency and zero insertion delay
+        let ideal = run1(&both_ideal, 0);
+        let orc = run1(&oracle, DEFAULT_LATENCY);
+        let captured = if b > 1e-9 {
+            100.0 * (b - real) / (b - orc).max(1e-9)
+        } else {
+            100.0
+        };
+        captured_all.push(captured);
+        table.row(vec![
+            Cell::new(entry.compiled.name),
+            Cell::percent(b),
+            Cell::percent(real),
+            Cell::percent(ideal),
+            Cell::percent(orc),
+            Cell::percent(captured),
+        ]);
+    }
+    table.row(vec![
+        Cell::new("mean"),
+        Cell::new("-"),
+        Cell::new("-"),
+        Cell::new("-"),
+        Cell::new("-"),
+        Cell::percent(mean(&captured_all)),
+    ]);
+    vec![Artifact::Table(table)]
+}

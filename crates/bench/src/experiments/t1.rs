@@ -1,0 +1,58 @@
+//! T1 — workload characterization.
+//!
+//! For every benchmark: static and dynamic instruction counts of both
+//! binaries, how many dynamic conditional branches if-conversion
+//! removed, what fraction of the survivors are region-based, and the
+//! predicate-definition density — the table that establishes the branch
+//! population the techniques target.
+
+use predbranch_sim::{ExecMetrics, Executor};
+use predbranch_stats::{Cell, Table};
+use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
+
+use super::{Artifact, Scale};
+use crate::runner::compiled_suite;
+
+pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+    let mut table = Table::new(
+        "T1: workload characterization (plain vs if-converted)",
+        &[
+            "bench",
+            "static",
+            "static.pred",
+            "dyn insts",
+            "dyn insts.pred",
+            "cond br",
+            "cond br.pred",
+            "removed%",
+            "region%",
+            "pdefs/1k",
+        ],
+    );
+    for entry in compiled_suite(scale.limit) {
+        let mut plain_metrics = ExecMetrics::new();
+        let plain = Executor::new(&entry.compiled.plain, entry.eval_input())
+            .run(&mut plain_metrics, DEFAULT_MAX_INSTRUCTIONS);
+        let mut pred_metrics = ExecMetrics::new();
+        let pred = Executor::new(&entry.compiled.predicated, entry.eval_input())
+            .run(&mut pred_metrics, DEFAULT_MAX_INSTRUCTIONS);
+
+        let removed = 100.0
+            * (1.0
+                - pred.conditional_branches as f64 / plain.conditional_branches.max(1) as f64);
+        let pdefs_per_k = pred.pred_writes as f64 * 1000.0 / pred.instructions.max(1) as f64;
+        table.row(vec![
+            Cell::new(entry.compiled.name),
+            Cell::count(u64::from(entry.compiled.plain.len())),
+            Cell::count(u64::from(entry.compiled.predicated.len())),
+            Cell::count(plain.instructions),
+            Cell::count(pred.instructions),
+            Cell::count(plain.conditional_branches),
+            Cell::count(pred.conditional_branches),
+            Cell::percent(removed),
+            Cell::percent(pred_metrics.region_fraction().percent()),
+            Cell::float(pdefs_per_k, 1),
+        ]);
+    }
+    vec![Artifact::Table(table)]
+}

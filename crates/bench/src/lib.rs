@@ -1,0 +1,19 @@
+//! Experiment harness: regenerates every table and figure of the study.
+//!
+//! Each experiment in [`experiments`] is a pure function from a
+//! [`Scale`] to text artifacts ([`predbranch_stats::Table`] /
+//! [`predbranch_stats::Series`]); the `experiments` binary prints them,
+//! the Criterion benches time them, and EXPERIMENTS.md records their
+//! output against the paper's claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use experiments::{all_experiments, Artifact, Experiment, Scale};
+pub use runner::{
+    compiled_suite, run_spec, RunOutcome, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY,
+};

@@ -1,0 +1,142 @@
+//! Shared run machinery for the experiments.
+
+use predbranch_core::{
+    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictionMetrics,
+    PredictorSpec,
+};
+use predbranch_isa::Program;
+use predbranch_sim::{Executor, Memory, RunSummary};
+use predbranch_workloads::{
+    compile_benchmark, suite, Benchmark, CompileOptions, CompiledBenchmark, EVAL_SEED,
+    DEFAULT_MAX_INSTRUCTIONS,
+};
+
+/// The machine's predicate resolve latency used throughout the study
+/// (compare execute → first fetch that can observe the result).
+pub const DEFAULT_LATENCY: u64 = 8;
+
+/// The realistic PGU insertion delay: predicate bits become visible to
+/// the history register one resolve latency after the defining compare.
+pub const PGU_DELAY: u64 = 8;
+
+/// A benchmark plus its two compiled binaries.
+#[derive(Debug)]
+pub struct SuiteEntry {
+    /// The benchmark descriptor (inputs, name).
+    pub bench: Benchmark,
+    /// Plain + predicated binaries and region metadata.
+    pub compiled: CompiledBenchmark,
+}
+
+impl SuiteEntry {
+    /// The evaluation input (always a different seed than training).
+    pub fn eval_input(&self) -> Memory {
+        self.bench.input(EVAL_SEED)
+    }
+}
+
+/// Compiles the whole suite (optionally only the first `limit`
+/// benchmarks, for quick modes).
+pub fn compiled_suite(limit: Option<usize>) -> Vec<SuiteEntry> {
+    let opts = CompileOptions::default();
+    suite()
+        .into_iter()
+        .take(limit.unwrap_or(usize::MAX))
+        .map(|bench| {
+            let compiled = compile_benchmark(&bench, &opts);
+            SuiteEntry { bench, compiled }
+        })
+        .collect()
+}
+
+/// The result of one predictor × binary run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Prediction metrics by branch class.
+    pub metrics: PredictionMetrics,
+    /// Execution summary (instructions, branch counts, halted).
+    pub summary: RunSummary,
+}
+
+impl RunOutcome {
+    /// Overall conditional-branch misprediction rate, percent.
+    pub fn misp_percent(&self) -> f64 {
+        self.metrics.all.misp_rate().percent()
+    }
+
+    /// Region-branch misprediction rate, percent.
+    pub fn region_misp_percent(&self) -> f64 {
+        self.metrics.region.misp_rate().percent()
+    }
+
+    /// Mispredictions per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        self.metrics.mpki(self.summary.instructions)
+    }
+
+    /// Dynamic taken branches of any kind (for taken-bubble accounting).
+    pub fn taken_branches(&self) -> u64 {
+        let unconditional = self.summary.branches - self.summary.conditional_branches;
+        self.summary.taken_conditional + unconditional
+    }
+}
+
+/// Runs one predictor spec over one binary with the study's default
+/// resolve latency and the given insertion filter.
+///
+/// # Panics
+///
+/// Panics if the program fails to halt within the suite instruction
+/// budget (suite programs always halt; a hang is a harness bug).
+pub fn run_spec(
+    program: &Program,
+    memory: Memory,
+    spec: &PredictorSpec,
+    resolve_latency: u64,
+    insert: InsertFilter,
+) -> RunOutcome {
+    let predictor = build_predictor(spec);
+    let mut harness = PredictionHarness::new(
+        predictor,
+        HarnessConfig {
+            resolve_latency,
+            insert,
+        },
+    );
+    let summary =
+        Executor::new(program, memory).run(&mut harness, 2 * DEFAULT_MAX_INSTRUCTIONS);
+    assert!(summary.halted, "experiment program did not halt");
+    RunOutcome {
+        metrics: *harness.metrics(),
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiled_suite_limit() {
+        let entries = compiled_suite(Some(2));
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].bench.name(), entries[0].compiled.name);
+    }
+
+    #[test]
+    fn run_outcome_accessors_consistent() {
+        let entries = compiled_suite(Some(1));
+        let e = &entries[0];
+        let out = run_spec(
+            &e.compiled.predicated,
+            e.eval_input(),
+            &PredictorSpec::StaticNotTaken,
+            DEFAULT_LATENCY,
+            InsertFilter::All,
+        );
+        assert!(out.summary.halted);
+        assert!(out.misp_percent() >= 0.0);
+        assert!(out.taken_branches() <= out.summary.branches);
+        assert!(out.mpki() >= 0.0);
+    }
+}

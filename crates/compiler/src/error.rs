@@ -1,0 +1,100 @@
+//! Compiler error type.
+
+use std::error::Error;
+use std::fmt;
+
+use predbranch_isa::ProgramError;
+
+use crate::cfg::BlockId;
+
+/// Why compilation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The CFG has no blocks.
+    EmptyCfg,
+    /// An edge targets a block id that does not exist.
+    DanglingEdge {
+        /// Source block.
+        from: BlockId,
+        /// Missing target block.
+        to: BlockId,
+    },
+    /// The CFG contains no `Halt` terminator.
+    NoHalt,
+    /// The builder was finished while control constructs were still open,
+    /// or the current block was left unterminated.
+    UnterminatedBlock {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// If-conversion ran out of predicate registers for a region; the
+    /// region limits in [`crate::IfConvertConfig`] are too generous.
+    OutOfPredicates {
+        /// Seed block of the region that overflowed.
+        region_seed: BlockId,
+    },
+    /// The produced program failed ISA-level validation (internal error).
+    InvalidProgram(ProgramError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::EmptyCfg => f.write_str("control-flow graph is empty"),
+            CompileError::DanglingEdge { from, to } => {
+                write!(f, "edge from {from} targets missing block {to}")
+            }
+            CompileError::NoHalt => f.write_str("control-flow graph has no halt"),
+            CompileError::UnterminatedBlock { block } => {
+                write!(f, "block {block} was never terminated")
+            }
+            CompileError::OutOfPredicates { region_seed } => write!(
+                f,
+                "region seeded at {region_seed} needs more predicate registers than exist"
+            ),
+            CompileError::InvalidProgram(e) => write!(f, "generated invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::InvalidProgram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for CompileError {
+    fn from(e: ProgramError) -> Self {
+        CompileError::InvalidProgram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_fields() {
+        let e = CompileError::DanglingEdge {
+            from: BlockId(1),
+            to: BlockId(9),
+        };
+        assert!(e.to_string().contains("bb1"));
+        assert!(e.to_string().contains("bb9"));
+        assert!(CompileError::OutOfPredicates {
+            region_seed: BlockId(3)
+        }
+        .to_string()
+        .contains("bb3"));
+    }
+
+    #[test]
+    fn program_error_converts_and_chains() {
+        let e: CompileError = ProgramError::Empty.into();
+        assert!(matches!(e, CompileError::InvalidProgram(_)));
+        assert!(e.source().is_some());
+    }
+}

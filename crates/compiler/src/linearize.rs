@@ -1,0 +1,345 @@
+//! Lowering CFGs to linear ISA programs (without if-conversion), plus the
+//! shared emission machinery the if-converter reuses.
+
+use std::collections::{BTreeMap, HashMap};
+
+use predbranch_isa::{CmpType, Gpr, Inst, Op, PredReg, Program, Src};
+
+use crate::cfg::{BlockId, Cfg, Cond, MidOp, Terminator};
+use crate::error::CompileError;
+
+/// The predicate register reserved as a write-only sink (`p63`): compare
+/// instructions that only need one useful target dump the other here.
+pub(crate) const SINK: u8 = 63;
+
+/// Rotating allocator for short-lived predicate registers (`p1..p62`).
+#[derive(Debug, Clone)]
+pub(crate) struct PredPool {
+    next: u8,
+}
+
+impl PredPool {
+    pub(crate) fn new() -> Self {
+        PredPool { next: 1 }
+    }
+
+    /// Number of allocatable predicates (`p1..=p62`).
+    pub(crate) const CAPACITY: usize = (SINK as usize) - 1;
+
+    /// Allocates the next predicate, wrapping around the pool.
+    ///
+    /// Rotation is only sound for predicates whose definition immediately
+    /// precedes their last use (plain lowering); region allocation uses
+    /// [`PredPool::alloc_checked`] instead.
+    pub(crate) fn alloc_rotating(&mut self) -> PredReg {
+        let p = PredReg::new(self.next).expect("pool indices are valid");
+        self.next = if self.next as usize >= Self::CAPACITY {
+            1
+        } else {
+            self.next + 1
+        };
+        p
+    }
+
+    /// Allocates without wrapping; `None` when the pool is exhausted.
+    pub(crate) fn alloc_checked(&mut self) -> Option<PredReg> {
+        if self.next as usize > Self::CAPACITY {
+            return None;
+        }
+        let p = PredReg::new(self.next).expect("pool indices are valid");
+        self.next += 1;
+        Some(p)
+    }
+}
+
+/// The write-only sink predicate.
+pub(crate) fn sink() -> PredReg {
+    PredReg::new(SINK).expect("SINK is a valid index")
+}
+
+/// Lowers a mid-level op to an ISA op under a guard.
+pub(crate) fn lower_op(guard: PredReg, op: &MidOp) -> Inst {
+    let isa_op = match *op {
+        MidOp::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => Op::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+        },
+        MidOp::Mov { dst, src } => Op::Mov { dst, src },
+        MidOp::Load { dst, base, offset } => Op::Load { dst, base, offset },
+        MidOp::Store { src, base, offset } => Op::Store { src, base, offset },
+        MidOp::Nop => Op::Nop,
+    };
+    Inst::guarded(guard, isa_op)
+}
+
+/// Builds the compare instruction evaluating `cond` into `(p_true,
+/// p_false)` with the given compare type under `guard`.
+pub(crate) fn cmp_inst(
+    guard: PredReg,
+    ctype: CmpType,
+    cond: &Cond,
+    p_true: PredReg,
+    p_false: PredReg,
+) -> Inst {
+    Inst::guarded(
+        guard,
+        Op::Cmp {
+            ctype,
+            cond: cond.cond,
+            p_true,
+            p_false,
+            src1: cond.src1,
+            src2: cond.src2,
+        },
+    )
+}
+
+/// An always-true condition (`r0 == r0`), used to forward predicates.
+pub(crate) fn always_true() -> Cond {
+    Cond::new(predbranch_isa::CmpCond::Eq, Gpr::ZERO, Src::Reg(Gpr::ZERO))
+}
+
+/// An always-false condition (`r0 != r0`), used to initialize predicates.
+pub(crate) fn always_false() -> Cond {
+    Cond::new(predbranch_isa::CmpCond::Ne, Gpr::ZERO, Src::Reg(Gpr::ZERO))
+}
+
+/// Accumulates instructions with block-label fixups.
+#[derive(Debug)]
+pub(crate) struct Emitter {
+    insts: Vec<Inst>,
+    fixups: Vec<(usize, BlockId)>,
+    block_pc: HashMap<BlockId, u32>,
+}
+
+impl Emitter {
+    pub(crate) fn new() -> Self {
+        Emitter {
+            insts: Vec::new(),
+            fixups: Vec::new(),
+            block_pc: HashMap::new(),
+        }
+    }
+
+    /// Records that `block` starts at the current pc.
+    pub(crate) fn bind(&mut self, block: BlockId) {
+        self.block_pc.insert(block, self.insts.len() as u32);
+    }
+
+    pub(crate) fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// Emits a branch to `block`, patched once all blocks are bound.
+    pub(crate) fn push_branch(&mut self, guard: PredReg, block: BlockId, region: Option<u16>) {
+        self.fixups.push((self.insts.len(), block));
+        self.insts.push(Inst::guarded(
+            guard,
+            Op::Br { target: 0, region },
+        ));
+    }
+
+    /// Patches fixups and builds the validated program.
+    pub(crate) fn finish(self) -> Result<Program, CompileError> {
+        let mut insts = self.insts;
+        for (idx, block) in self.fixups {
+            let &pc = self
+                .block_pc
+                .get(&block)
+                .unwrap_or_else(|| panic!("unbound branch target {block}"));
+            if let Op::Br { ref mut target, .. } = insts[idx].op {
+                *target = pc;
+            } else {
+                unreachable!("fixup index always points at a branch");
+            }
+        }
+        let labels: BTreeMap<String, u32> = self
+            .block_pc
+            .iter()
+            .map(|(block, &pc)| (format!("{block}"), pc))
+            .collect();
+        Ok(Program::with_labels(insts, labels)?)
+    }
+}
+
+/// Lowers a CFG to a linear branchy program **without** if-conversion —
+/// the study's baseline code generation.
+///
+/// Each conditional branch becomes a `cmp` defining a guard predicate
+/// immediately followed by the guarded branch; blocks are laid out in
+/// reverse postorder with fall-through elision.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the produced program fails ISA validation
+/// (cannot happen for validated CFGs; the error is propagated for
+/// robustness).
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_compiler::{lower, CfgBuilder, Cond};
+/// use predbranch_isa::{CmpCond, Gpr};
+///
+/// let mut b = CfgBuilder::new();
+/// b.if_then(Cond::new(CmpCond::Gt, Gpr::new(1).unwrap(), 0), |_| {});
+/// b.halt();
+/// let program = lower(&b.finish().unwrap())?;
+/// assert_eq!(program.stats().conditional_branches, 1);
+/// # Ok::<(), predbranch_compiler::CompileError>(())
+/// ```
+pub fn lower(cfg: &Cfg) -> Result<Program, CompileError> {
+    let order = cfg.reverse_postorder();
+    let mut emitter = Emitter::new();
+    let mut pool = PredPool::new();
+
+    for (i, &block_id) in order.iter().enumerate() {
+        let next = order.get(i + 1).copied();
+        emitter.bind(block_id);
+        let block = cfg.block(block_id);
+        for op in &block.ops {
+            emitter.push(lower_op(PredReg::TRUE, op));
+        }
+        match block.term {
+            Terminator::Halt => emitter.push(Inst::new(Op::Halt)),
+            Terminator::Jump(t) => {
+                if next != Some(t) {
+                    emitter.push_branch(PredReg::TRUE, t, None);
+                }
+            }
+            Terminator::CondBr {
+                ref cond,
+                then_bb,
+                else_bb,
+            } => {
+                let p_taken = pool.alloc_rotating();
+                emitter.push(cmp_inst(
+                    PredReg::TRUE,
+                    CmpType::Norm,
+                    cond,
+                    p_taken,
+                    sink(),
+                ));
+                emitter.push_branch(p_taken, then_bb, None);
+                if next != Some(else_bb) {
+                    emitter.push_branch(PredReg::TRUE, else_bb, None);
+                }
+            }
+        }
+    }
+    emitter.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CfgBuilder;
+    use predbranch_isa::CmpCond;
+
+    fn r(i: u8) -> Gpr {
+        Gpr::new(i).unwrap()
+    }
+
+    #[test]
+    fn straight_line_lowering() {
+        let mut b = CfgBuilder::new();
+        b.mov(r(1), 3);
+        b.addi(r(2), r(1), 1);
+        b.halt();
+        let p = lower(&b.finish().unwrap()).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.stats().branches, 0);
+    }
+
+    #[test]
+    fn diamond_lowering_emits_cmp_then_branch() {
+        let mut b = CfgBuilder::new();
+        b.if_then_else(
+            Cond::new(CmpCond::Lt, r(1), 5),
+            |b| b.mov(r(2), 1),
+            |b| b.mov(r(2), 2),
+        );
+        b.halt();
+        let p = lower(&b.finish().unwrap()).unwrap();
+        let s = p.stats();
+        assert_eq!(s.conditional_branches, 1);
+        assert_eq!(s.compares, 1);
+        assert_eq!(s.region_branches, 0);
+        // the cmp immediately precedes its branch
+        let (br_pc, br) = p
+            .iter()
+            .find(|(_, inst)| inst.is_conditional_branch())
+            .unwrap();
+        let prev = p.inst(br_pc - 1).unwrap();
+        assert!(prev.is_cmp());
+        let guard = br.guard;
+        assert!(prev.pred_writes().any(|w| w == guard));
+    }
+
+    #[test]
+    fn fallthrough_elision_skips_redundant_jumps() {
+        // if/then/else: the else arm should fall through somewhere.
+        let mut b = CfgBuilder::new();
+        b.if_then(Cond::new(CmpCond::Lt, r(1), 5), |b| b.mov(r(2), 1));
+        b.halt();
+        let p = lower(&b.finish().unwrap()).unwrap();
+        // 1 cmp + 1 cond branch + ops + at most 1 unconditional branch + halt
+        let s = p.stats();
+        assert!(
+            s.branches <= 3,
+            "too many branches ({}) — elision failed:\n{p}",
+            s.branches
+        );
+    }
+
+    #[test]
+    fn loop_lowering_has_backward_branch() {
+        let mut b = CfgBuilder::new();
+        b.for_range(r(1), 0, 4, |b| b.addi(r(2), r(2), 1));
+        b.halt();
+        let p = lower(&b.finish().unwrap()).unwrap();
+        let backward = p.iter().any(|(pc, inst)| match inst.op {
+            Op::Br { target, .. } => target <= pc,
+            _ => false,
+        });
+        assert!(backward, "loop must lower to a backward branch:\n{p}");
+    }
+
+    #[test]
+    fn labels_name_block_heads() {
+        let mut b = CfgBuilder::new();
+        b.if_then(Cond::new(CmpCond::Lt, r(1), 5), |_| {});
+        b.halt();
+        let p = lower(&b.finish().unwrap()).unwrap();
+        assert_eq!(p.resolve_label("bb0"), Some(0));
+    }
+
+    #[test]
+    fn pool_rotates_and_skips_p0_and_sink() {
+        let mut pool = PredPool::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let p = pool.alloc_rotating();
+            assert!(!p.is_always_true());
+            assert_ne!(p.index(), SINK);
+            seen.insert(p.index());
+        }
+        assert_eq!(seen.len(), PredPool::CAPACITY);
+    }
+
+    #[test]
+    fn pool_checked_exhausts() {
+        let mut pool = PredPool::new();
+        for _ in 0..PredPool::CAPACITY {
+            assert!(pool.alloc_checked().is_some());
+        }
+        assert!(pool.alloc_checked().is_none());
+    }
+}

@@ -1,0 +1,217 @@
+//! Natural-loop detection.
+//!
+//! Region formation treats back edges as region exits, so loops shape
+//! everything downstream: a loop whose body fits one region becomes a
+//! re-entered hyperblock whose exit branch is region-based. This module
+//! finds the natural loops of a (reducible) CFG so analyses, reports,
+//! and tests can reason about that structure directly.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{BlockId, Cfg};
+use crate::dom::Dominators;
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header, sorted by id.
+    pub body: Vec<BlockId>,
+    /// Sources of the back edges into the header.
+    pub latches: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Whether `block` belongs to this loop.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.body.binary_search(&block).is_ok()
+    }
+}
+
+/// The natural loops of a CFG.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_compiler::{CfgBuilder, Cond, Loops};
+/// use predbranch_isa::{CmpCond, Gpr};
+///
+/// let i = Gpr::new(1).unwrap();
+/// let mut b = CfgBuilder::new();
+/// b.for_range(i, 0, 10, |_| {});
+/// b.halt();
+/// let cfg = b.finish().unwrap();
+/// let loops = Loops::find(&cfg);
+/// assert_eq!(loops.all().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loops {
+    loops: Vec<Loop>,
+    depth: Vec<u32>,
+}
+
+impl Loops {
+    /// Finds all natural loops (one per header; multiple back edges to
+    /// the same header merge into one loop).
+    pub fn find(cfg: &Cfg) -> Self {
+        let dom = Dominators::compute(cfg);
+        let preds = cfg.predecessors();
+
+        // back edges: n → h where h dominates n
+        let mut per_header: std::collections::BTreeMap<BlockId, Vec<BlockId>> =
+            std::collections::BTreeMap::new();
+        for (n, block) in cfg.iter() {
+            for h in block.term.successors() {
+                if dom.dominates(h, n) {
+                    per_header.entry(h).or_default().push(n);
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        let mut depth = vec![0u32; cfg.len()];
+        for (header, latches) in per_header {
+            // standard worklist: body = {header} ∪ blocks that reach a
+            // latch without passing through the header
+            let mut body: BTreeSet<BlockId> = BTreeSet::new();
+            body.insert(header);
+            let mut work: Vec<BlockId> = latches.clone();
+            while let Some(n) = work.pop() {
+                if body.insert(n) {
+                    for &p in &preds[n.index()] {
+                        if !body.contains(&p) {
+                            work.push(p);
+                        }
+                    }
+                }
+            }
+            for &b in &body {
+                depth[b.index()] += 1;
+            }
+            loops.push(Loop {
+                header,
+                body: body.into_iter().collect(),
+                latches,
+            });
+        }
+
+        Loops { loops, depth }
+    }
+
+    /// All loops, ordered by header id (outer loops before their inner
+    /// loops for the builder's CFGs).
+    pub fn all(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Loop-nesting depth of a block (0 = not in any loop).
+    pub fn depth(&self, block: BlockId) -> u32 {
+        self.depth.get(block.index()).copied().unwrap_or(0)
+    }
+
+    /// The innermost loop containing `block`, if any (the one with the
+    /// smallest body among those containing it).
+    pub fn innermost(&self, block: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(block))
+            .min_by_key(|l| l.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CfgBuilder;
+    use crate::cfg::Cond;
+    use predbranch_isa::{CmpCond, Gpr};
+
+    fn r(i: u8) -> Gpr {
+        Gpr::new(i).unwrap()
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut b = CfgBuilder::new();
+        b.mov(r(1), 1);
+        b.halt();
+        let cfg = b.finish().unwrap();
+        let loops = Loops::find(&cfg);
+        assert!(loops.all().is_empty());
+        assert_eq!(loops.depth(Cfg::ENTRY), 0);
+    }
+
+    #[test]
+    fn single_loop_found_with_header_and_latch() {
+        let mut b = CfgBuilder::new();
+        b.for_range(r(1), 0, 10, |b| b.addi(r(2), r(2), 1));
+        b.halt();
+        let cfg = b.finish().unwrap();
+        let loops = Loops::find(&cfg);
+        assert_eq!(loops.all().len(), 1);
+        let l = &loops.all()[0];
+        assert_eq!(l.latches.len(), 1);
+        assert!(l.contains(l.header));
+        assert!(l.contains(l.latches[0]));
+        // entry and the exit block are outside
+        assert!(!l.contains(Cfg::ENTRY));
+        assert_eq!(loops.depth(l.header), 1);
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        let mut b = CfgBuilder::new();
+        b.for_range(r(30), 0, 5, |b| {
+            b.for_range(r(31), 0, 5, |b| b.addi(r(1), r(1), 1));
+        });
+        b.halt();
+        let cfg = b.finish().unwrap();
+        let loops = Loops::find(&cfg);
+        assert_eq!(loops.all().len(), 2);
+        let max_depth = cfg.block_ids().map(|id| loops.depth(id)).max().unwrap();
+        assert_eq!(max_depth, 2);
+        // the innermost loop of a depth-2 block is the smaller loop
+        let deep = cfg
+            .block_ids()
+            .find(|&id| loops.depth(id) == 2)
+            .expect("depth-2 block exists");
+        let inner = loops.innermost(deep).unwrap();
+        let outer = loops
+            .all()
+            .iter()
+            .find(|l| l.header != inner.header)
+            .unwrap();
+        assert!(inner.body.len() < outer.body.len());
+    }
+
+    #[test]
+    fn sequential_loops_are_distinct() {
+        let mut b = CfgBuilder::new();
+        b.for_range(r(30), 0, 5, |_| {});
+        b.for_range(r(31), 0, 5, |_| {});
+        b.halt();
+        let cfg = b.finish().unwrap();
+        let loops = Loops::find(&cfg);
+        assert_eq!(loops.all().len(), 2);
+        let (a, b2) = (&loops.all()[0], &loops.all()[1]);
+        assert!(a.body.iter().all(|blk| !b2.contains(*blk)));
+    }
+
+    #[test]
+    fn loop_body_blocks_dominated_by_header() {
+        let mut b = CfgBuilder::new();
+        b.for_range(r(30), 0, 5, |b| {
+            b.if_then(Cond::new(CmpCond::Eq, r(1), 0), |b| b.addi(r(2), r(2), 1));
+        });
+        b.halt();
+        let cfg = b.finish().unwrap();
+        let loops = Loops::find(&cfg);
+        let dom = crate::dom::Dominators::compute(&cfg);
+        for l in loops.all() {
+            for &blk in &l.body {
+                assert!(dom.dominates(l.header, blk), "{} !dom {}", l.header, blk);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The bimodal (per-PC 2-bit counter) predictor.
+
+use predbranch_sim::PredicateScoreboard;
+
+use crate::predictor::{BranchInfo, BranchPredictor};
+use crate::tables::CounterTable;
+
+/// A bimodal predictor: one 2-bit counter per (hashed) branch PC.
+///
+/// The classic Smith predictor — captures per-branch bias but no
+/// correlation, making it the natural floor for the history-based
+/// predictors in this study.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_core::{Bimodal, BranchPredictor};
+///
+/// let p = Bimodal::new(12);
+/// assert_eq!(p.storage_bits(), 8192);
+/// assert_eq!(p.name(), "bimodal-12");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bimodal {
+    table: CounterTable,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is outside `1..=28`.
+    pub fn new(index_bits: u32) -> Self {
+        Bimodal {
+            table: CounterTable::new(index_bits),
+        }
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn name(&self) -> String {
+        format!("bimodal-{}", self.table.index_bits())
+    }
+
+    fn predict(&mut self, branch: &BranchInfo, _scoreboard: &PredicateScoreboard) -> bool {
+        self.table.predict(branch.pc as u64)
+    }
+
+    fn update(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        self.table.update(branch.pc as u64, taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_isa::PredReg;
+
+    fn info(pc: u32) -> BranchInfo {
+        BranchInfo {
+            pc,
+            target: 0,
+            guard: PredReg::new(1).unwrap(),
+            region: None,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn learns_per_branch_bias() {
+        let sb = PredicateScoreboard::new(0);
+        let mut p = Bimodal::new(10);
+        for _ in 0..4 {
+            p.update(&info(100), true, &sb);
+            p.update(&info(200), false, &sb);
+        }
+        assert!(p.predict(&info(100), &sb));
+        assert!(!p.predict(&info(200), &sb));
+    }
+
+    #[test]
+    fn alternating_branch_stays_wrong_half_the_time() {
+        let sb = PredicateScoreboard::new(0);
+        let mut p = Bimodal::new(10);
+        let mut wrong = 0;
+        let mut outcome = false;
+        for _ in 0..100 {
+            outcome = !outcome;
+            if p.predict(&info(7), &sb) != outcome {
+                wrong += 1;
+            }
+            p.update(&info(7), outcome, &sb);
+        }
+        // bimodal cannot learn alternation
+        assert!(wrong >= 50, "wrong = {wrong}");
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let sb = PredicateScoreboard::new(0);
+        let mut p = Bimodal::new(4);
+        p.update(&info(1), true, &sb);
+        p.update(&info(1), true, &sb);
+        assert!(p.predict(&info(1), &sb));
+        assert!(!p.predict(&info(2), &sb));
+    }
+}

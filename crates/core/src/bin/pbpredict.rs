@@ -1,0 +1,113 @@
+//! `pbpredict` — run a predbranch assembly program under a chosen
+//! predictor and report prediction metrics.
+//!
+//! ```text
+//! pbpredict <file.s> [--predictor SPEC] [--latency L] [--max N]
+//!
+//! SPEC examples:  gshare:13/13          bimodal:14
+//!                 gshare:13/13+sfpf     gshare:13/13+pgu8
+//!                 perceptron:7/14+sfpf+pgu8    oracle
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use predbranch_core::{
+    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec,
+};
+use predbranch_isa::assemble;
+use predbranch_sim::{Executor, Memory, PipelineConfig};
+
+struct Options {
+    path: String,
+    spec: String,
+    latency: u64,
+    max: u64,
+}
+
+fn parse_args() -> Option<Options> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        path: String::new(),
+        spec: "gshare:13/13".to_string(),
+        latency: 8,
+        max: 10_000_000,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--predictor" => opts.spec = args.next()?,
+            "--latency" => opts.latency = args.next()?.parse().ok()?,
+            "--max" => opts.max = args.next()?.parse().ok()?,
+            path if opts.path.is_empty() && !path.starts_with('-') => {
+                opts.path = path.to_string();
+            }
+            _ => return None,
+        }
+    }
+    if opts.path.is_empty() {
+        None
+    } else {
+        Some(opts)
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else {
+        eprintln!("usage: pbpredict <file.s> [--predictor SPEC] [--latency L] [--max N]");
+        return ExitCode::FAILURE;
+    };
+    let text = match fs::read_to_string(&opts.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pbpredict: cannot read {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match assemble(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pbpredict: {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec: PredictorSpec = match opts.spec.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pbpredict: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let predictor = build_predictor(&spec);
+    println!("predictor:        {}", predictor.name());
+    println!("storage bits:     {}", predictor.storage_bits());
+    let mut harness = PredictionHarness::new(
+        predictor,
+        HarnessConfig {
+            resolve_latency: opts.latency,
+            insert: InsertFilter::All,
+        },
+    )
+    .with_timeline(PipelineConfig::default());
+    let summary = Executor::new(&program, Memory::new()).run(&mut harness, opts.max);
+
+    let m = harness.metrics();
+    println!("halted:           {}", summary.halted);
+    println!("instructions:     {}", summary.instructions);
+    println!("cond branches:    {}", m.all.branches);
+    println!("mispredictions:   {}", m.all.mispredictions);
+    println!("misp rate:        {}", m.all.misp_rate());
+    println!("  region:         {}", m.region.misp_rate());
+    println!("  non-region:     {}", m.non_region.misp_rate());
+    println!("MPKI:             {:.3}", m.mpki(summary.instructions));
+    println!("kf-guard fetches: {}", m.known_false_guard);
+    if let Some(timeline) = harness.timeline() {
+        println!("cycles:           {}", timeline.cycles());
+        println!("IPC:              {:.3}", timeline.ipc());
+    }
+    if summary.halted {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,169 @@
+//! The gshare global-history predictor.
+
+use predbranch_sim::PredicateScoreboard;
+
+use crate::history::GlobalHistory;
+use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::tables::CounterTable;
+
+/// McFarling's gshare: a 2-bit counter table indexed by `PC ⊕ global
+/// history`.
+///
+/// This is the baseline predictor of the study. Its global history
+/// register is exposed through [`HasGlobalHistory`] so the predicate
+/// global-update mechanism ([`crate::Pgu`]) can shift predicate outcomes
+/// into it.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_core::{BranchPredictor, Gshare};
+///
+/// let p = Gshare::new(14, 12); // 16K entries, 12 bits of history
+/// assert_eq!(p.storage_bits(), 2 * (1 << 14) + 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gshare {
+    table: CounterTable,
+    history: GlobalHistory,
+}
+
+impl Gshare {
+    /// Creates a gshare with `2^index_bits` counters and `history_bits`
+    /// of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is outside `1..=28` or `history_bits`
+    /// outside `1..=64`.
+    pub fn new(index_bits: u32, history_bits: u32) -> Self {
+        Gshare {
+            table: CounterTable::new(index_bits),
+            history: GlobalHistory::new(history_bits),
+        }
+    }
+
+    fn index(&self, pc: u32) -> u64 {
+        u64::from(pc) ^ self.history.folded(self.table.index_bits())
+    }
+
+    /// The current global history (for inspection).
+    pub fn history(&self) -> &GlobalHistory {
+        &self.history
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn name(&self) -> String {
+        format!(
+            "gshare-{}/{}",
+            self.table.index_bits(),
+            self.history.len()
+        )
+    }
+
+    fn predict(&mut self, branch: &BranchInfo, _scoreboard: &PredicateScoreboard) -> bool {
+        self.table.predict(self.index(branch.pc))
+    }
+
+    fn update(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        let index = self.index(branch.pc);
+        self.table.update(index, taken);
+        self.history.shift_in(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.storage_bits() + self.history.storage_bits()
+    }
+}
+
+impl HasGlobalHistory for Gshare {
+    fn global_history_mut(&mut self) -> &mut GlobalHistory {
+        &mut self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_isa::PredReg;
+
+    fn info(pc: u32) -> BranchInfo {
+        BranchInfo {
+            pc,
+            target: 0,
+            guard: PredReg::new(1).unwrap(),
+            region: None,
+            index: 0,
+        }
+    }
+
+    fn sb() -> PredicateScoreboard {
+        PredicateScoreboard::new(0)
+    }
+
+    #[test]
+    fn learns_alternating_pattern() {
+        // gshare's defining advantage over bimodal
+        let sb = sb();
+        let mut p = Gshare::new(10, 8);
+        let mut outcome = false;
+        let mut wrong_tail = 0;
+        for i in 0..200 {
+            outcome = !outcome;
+            let predicted = p.predict(&info(7), &sb);
+            if i >= 100 && predicted != outcome {
+                wrong_tail += 1;
+            }
+            p.update(&info(7), outcome, &sb);
+        }
+        assert_eq!(wrong_tail, 0, "gshare must lock onto alternation");
+    }
+
+    #[test]
+    fn learns_correlated_branches() {
+        // branch B repeats branch A's outcome; pattern of A is period-3.
+        let sb = sb();
+        let mut p = Gshare::new(12, 10);
+        let pattern = [true, true, false];
+        let mut wrong_tail = 0;
+        for i in 0..300 {
+            let a = pattern[i % 3];
+            let pa = p.predict(&info(100), &sb);
+            p.update(&info(100), a, &sb);
+            let pb = p.predict(&info(200), &sb);
+            p.update(&info(200), a, &sb);
+            if i >= 150 {
+                if pa != a {
+                    wrong_tail += 1;
+                }
+                if pb != a {
+                    wrong_tail += 1;
+                }
+            }
+        }
+        assert_eq!(wrong_tail, 0, "periodic correlated pattern must be learned");
+    }
+
+    #[test]
+    fn history_updates_on_outcome() {
+        let sb = sb();
+        let mut p = Gshare::new(8, 8);
+        p.update(&info(0), true, &sb);
+        p.update(&info(0), false, &sb);
+        assert_eq!(p.history().value(), 0b10);
+    }
+
+    #[test]
+    fn storage_accounts_table_plus_history() {
+        let p = Gshare::new(10, 16);
+        assert_eq!(p.storage_bits(), 2048 + 16);
+    }
+
+    #[test]
+    fn global_history_access_for_pgu() {
+        let mut p = Gshare::new(8, 8);
+        p.global_history_mut().shift_in(true);
+        assert_eq!(p.history().value(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! The global history register.
+
+use std::fmt;
+
+/// A shift register of recent branch (and, under PGU, predicate)
+/// outcomes, up to 64 bits.
+///
+/// Bit 0 is the most recent outcome.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_core::GlobalHistory;
+///
+/// let mut h = GlobalHistory::new(4);
+/// h.shift_in(true);
+/// h.shift_in(false);
+/// h.shift_in(true);
+/// assert_eq!(h.value(), 0b101);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalHistory {
+    bits: u64,
+    len: u32,
+}
+
+impl GlobalHistory {
+    /// Creates an all-zero history of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or greater than 64.
+    pub fn new(len: u32) -> Self {
+        assert!((1..=64).contains(&len), "history length must be 1..=64");
+        GlobalHistory { bits: 0, len }
+    }
+
+    /// Number of history bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the register currently holds all zeros.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Shifts one outcome in (most recent at bit 0).
+    pub fn shift_in(&mut self, outcome: bool) {
+        self.bits = ((self.bits << 1) | u64::from(outcome)) & self.mask();
+    }
+
+    /// The current history value.
+    pub fn value(&self) -> u64 {
+        self.bits
+    }
+
+    /// The all-ones mask for this history length.
+    pub fn mask(&self) -> u64 {
+        if self.len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+
+    /// Folds the history down to `bits` bits by XOR, for indexing tables
+    /// smaller than the history is long.
+    pub fn folded(&self, bits: u32) -> u64 {
+        assert!((1..=64).contains(&bits), "fold width must be 1..=64");
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut v = self.bits;
+        let mut out = 0u64;
+        while v != 0 {
+            out ^= v & mask;
+            v >>= bits;
+        }
+        out
+    }
+
+    /// Clears the history.
+    pub fn reset(&mut self) {
+        self.bits = 0;
+    }
+
+    /// Storage cost in bits.
+    pub fn storage_bits(&self) -> usize {
+        self.len as usize
+    }
+}
+
+impl fmt::Display for GlobalHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_keeps_len_bits() {
+        let mut h = GlobalHistory::new(3);
+        for _ in 0..10 {
+            h.shift_in(true);
+        }
+        assert_eq!(h.value(), 0b111);
+    }
+
+    #[test]
+    fn most_recent_is_bit_zero() {
+        let mut h = GlobalHistory::new(8);
+        h.shift_in(true);
+        h.shift_in(false);
+        assert_eq!(h.value() & 1, 0);
+        assert_eq!((h.value() >> 1) & 1, 1);
+    }
+
+    #[test]
+    fn full_width_history() {
+        let mut h = GlobalHistory::new(64);
+        h.shift_in(true);
+        assert_eq!(h.value(), 1);
+        assert_eq!(h.mask(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "history length")]
+    fn zero_length_rejected() {
+        let _ = GlobalHistory::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "history length")]
+    fn oversized_rejected() {
+        let _ = GlobalHistory::new(65);
+    }
+
+    #[test]
+    fn folding_xors_chunks() {
+        let mut h = GlobalHistory::new(8);
+        for bit in [true, false, true, true, false, false, true, false] {
+            h.shift_in(bit);
+        }
+        // bits = 0b10110010
+        assert_eq!(h.value(), 0b1011_0010);
+        assert_eq!(h.folded(4), 0b1011 ^ 0b0010);
+        assert_eq!(h.folded(8), h.value());
+        assert_eq!(h.folded(16), h.value());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = GlobalHistory::new(4);
+        h.shift_in(true);
+        h.reset();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn display_is_fixed_width_binary() {
+        let mut h = GlobalHistory::new(4);
+        h.shift_in(true);
+        assert_eq!(h.to_string(), "0001");
+    }
+}

@@ -1,0 +1,254 @@
+//! The predictor interface and prediction metrics.
+
+use predbranch_sim::{BranchEvent, PredWriteEvent, PredicateScoreboard};
+use predbranch_stats::{Counter, Ratio};
+
+/// The fetch-time view of a conditional branch presented to a predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Static location of the branch.
+    pub pc: u32,
+    /// Branch target (for static direction heuristics).
+    pub target: u32,
+    /// The guard predicate register.
+    pub guard: predbranch_isa::PredReg,
+    /// The if-converted region the branch belongs to, if region-based.
+    pub region: Option<u16>,
+    /// Dynamic fetch index, used for scoreboard timing queries.
+    pub index: u64,
+}
+
+impl BranchInfo {
+    /// Builds the fetch-time view from a dynamic branch event.
+    pub fn from_event(event: &BranchEvent) -> Self {
+        BranchInfo {
+            pc: event.pc,
+            target: event.target,
+            guard: event.guard,
+            region: event.region,
+            index: event.index,
+        }
+    }
+
+    /// Whether the branch jumps backwards (loop-shaped).
+    pub fn is_backward(&self) -> bool {
+        self.target <= self.pc
+    }
+}
+
+/// A dynamic branch-direction predictor.
+///
+/// Predictors are driven by [`crate::PredictionHarness`]: for every
+/// conditional branch, `predict` is called at "fetch" (with the
+/// predicate scoreboard reflecting what has resolved by then) and
+/// `update` is called immediately afterwards with the true outcome —
+/// the standard idealized trace-driven methodology. Predicate-definition
+/// events are forwarded through [`BranchPredictor::on_pred_write`] for
+/// predictors (like [`crate::Pgu`]) that consume them.
+pub trait BranchPredictor {
+    /// A short human-readable name (used in table rows).
+    fn name(&self) -> String;
+
+    /// Predicts the branch direction: `true` = taken.
+    fn predict(&mut self, branch: &BranchInfo, scoreboard: &PredicateScoreboard) -> bool;
+
+    /// Trains on the resolved outcome.
+    fn update(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard);
+
+    /// Observes a predicate definition (default: ignored).
+    fn on_pred_write(&mut self, _write: &PredWriteEvent) {}
+
+    /// Hardware budget of the prediction state, in bits.
+    fn storage_bits(&self) -> usize;
+}
+
+impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn predict(&mut self, branch: &BranchInfo, scoreboard: &PredicateScoreboard) -> bool {
+        (**self).predict(branch, scoreboard)
+    }
+
+    fn update(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        (**self).update(branch, taken, scoreboard)
+    }
+
+    fn on_pred_write(&mut self, write: &PredWriteEvent) {
+        (**self).on_pred_write(write)
+    }
+
+    fn storage_bits(&self) -> usize {
+        (**self).storage_bits()
+    }
+}
+
+/// Predictors whose index function uses a global history register that
+/// external components (the PGU mechanism) may shift bits into.
+pub trait HasGlobalHistory {
+    /// Mutable access to the global history register.
+    fn global_history_mut(&mut self) -> &mut crate::history::GlobalHistory;
+}
+
+/// A static (no-state) predictor, the weakest baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticPredictor {
+    /// Always predict not-taken.
+    NotTaken,
+    /// Always predict taken.
+    Taken,
+    /// Backward-taken, forward-not-taken.
+    Btfn,
+}
+
+impl BranchPredictor for StaticPredictor {
+    fn name(&self) -> String {
+        match self {
+            StaticPredictor::NotTaken => "static-nt".to_string(),
+            StaticPredictor::Taken => "static-t".to_string(),
+            StaticPredictor::Btfn => "static-btfn".to_string(),
+        }
+    }
+
+    fn predict(&mut self, branch: &BranchInfo, _scoreboard: &PredicateScoreboard) -> bool {
+        match self {
+            StaticPredictor::NotTaken => false,
+            StaticPredictor::Taken => true,
+            StaticPredictor::Btfn => branch.is_backward(),
+        }
+    }
+
+    fn update(&mut self, _: &BranchInfo, _: bool, _: &PredicateScoreboard) {}
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+}
+
+/// Branch/misprediction counters for one branch class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Dynamic branches in the class.
+    pub branches: Counter,
+    /// Mispredicted branches in the class.
+    pub mispredictions: Counter,
+}
+
+impl ClassCounts {
+    /// Misprediction rate for the class.
+    pub fn misp_rate(&self) -> Ratio {
+        Ratio::of(self.mispredictions.get(), self.branches.get())
+    }
+
+    /// Prediction accuracy for the class.
+    pub fn accuracy(&self) -> Ratio {
+        self.misp_rate().complement()
+    }
+
+    pub(crate) fn record(&mut self, correct: bool) {
+        self.branches.increment();
+        if !correct {
+            self.mispredictions.increment();
+        }
+    }
+}
+
+/// Per-run prediction metrics split by branch class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictionMetrics {
+    /// All conditional branches.
+    pub all: ClassCounts,
+    /// Region-based conditional branches.
+    pub region: ClassCounts,
+    /// Conditional branches outside regions.
+    pub non_region: ClassCounts,
+    /// Branches fetched with a known-false guard (squash-filter
+    /// opportunities), regardless of the predictor used.
+    pub known_false_guard: Counter,
+    /// Of those, how many the predictor got wrong (0 whenever the squash
+    /// filter is active — its defining guarantee).
+    pub known_false_mispredicted: Counter,
+    /// Dynamic predicate definitions observed.
+    pub pred_writes: Counter,
+}
+
+impl PredictionMetrics {
+    /// Mispredictions per 1000 dynamic instructions (caller supplies the
+    /// instruction count from [`predbranch_sim::RunSummary`]).
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.all.mispredictions.get() as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Fraction of conditional branches covered by the squash filter.
+    pub fn filter_coverage(&self) -> Ratio {
+        Ratio::of(self.known_false_guard.get(), self.all.branches.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_isa::PredReg;
+
+    fn info(pc: u32, target: u32) -> BranchInfo {
+        BranchInfo {
+            pc,
+            target,
+            guard: PredReg::new(1).unwrap(),
+            region: None,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn branch_info_backwardness() {
+        assert!(info(10, 5).is_backward());
+        assert!(info(10, 10).is_backward());
+        assert!(!info(10, 11).is_backward());
+    }
+
+    #[test]
+    fn static_predictors() {
+        let sb = PredicateScoreboard::new(0);
+        assert!(!StaticPredictor::NotTaken.predict(&info(0, 5), &sb));
+        assert!(StaticPredictor::Taken.predict(&info(0, 5), &sb));
+        assert!(StaticPredictor::Btfn.predict(&info(10, 0), &sb));
+        assert!(!StaticPredictor::Btfn.predict(&info(0, 10), &sb));
+        assert_eq!(StaticPredictor::Btfn.storage_bits(), 0);
+    }
+
+    #[test]
+    fn class_counts_rates() {
+        let mut c = ClassCounts::default();
+        c.record(true);
+        c.record(false);
+        c.record(false);
+        c.record(true);
+        assert_eq!(c.misp_rate().percent(), 50.0);
+        assert_eq!(c.accuracy().percent(), 50.0);
+    }
+
+    #[test]
+    fn metrics_mpki() {
+        let mut m = PredictionMetrics::default();
+        m.all.record(false);
+        m.all.record(false);
+        assert_eq!(m.mpki(1000), 2.0);
+        assert_eq!(m.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn boxed_predictor_delegates() {
+        let sb = PredicateScoreboard::new(0);
+        let mut boxed: Box<dyn BranchPredictor> = Box::new(StaticPredictor::Taken);
+        assert_eq!(boxed.name(), "static-t");
+        assert!(boxed.predict(&info(0, 1), &sb));
+        boxed.update(&info(0, 1), true, &sb);
+        assert_eq!(boxed.storage_bits(), 0);
+    }
+}

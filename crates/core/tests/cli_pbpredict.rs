@@ -1,0 +1,75 @@
+//! End-to-end tests of the `pbpredict` binary.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("predbranch-core-test-{}-{name}", std::process::id()));
+    p
+}
+
+const PROGRAM: &str = "    mov r1 = 0\nloop:\n    cmp.lt p1, p2 = r1, 100\n    (p1) add r1 = r1, 1\n    nop\n    nop\n    (p1) br.region 0, loop\n    halt\n";
+
+#[test]
+fn default_predictor_reports_metrics() {
+    let src = scratch("default.s");
+    fs::write(&src, PROGRAM).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pbpredict"))
+        .arg(src.to_str().unwrap())
+        .output()
+        .expect("pbpredict runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("predictor:        gshare-13/13"), "{text}");
+    assert!(text.contains("cond branches:    101"), "{text}");
+    assert!(text.contains("IPC:"), "{text}");
+    fs::remove_file(src).ok();
+}
+
+#[test]
+fn oracle_spec_is_perfect() {
+    let src = scratch("oracle.s");
+    fs::write(&src, PROGRAM).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pbpredict"))
+        .args([src.to_str().unwrap(), "--predictor", "oracle"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("mispredictions:   0"), "{text}");
+    fs::remove_file(src).ok();
+}
+
+#[test]
+fn composite_spec_parses_and_runs() {
+    let src = scratch("composite.s");
+    fs::write(&src, PROGRAM).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pbpredict"))
+        .args([
+            src.to_str().unwrap(),
+            "--predictor",
+            "perceptron:7/14+sfpf+pgu8",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("sfpf+pgu[d8]+perceptron-7/14"), "{text}");
+    fs::remove_file(src).ok();
+}
+
+#[test]
+fn bad_spec_is_rejected() {
+    let src = scratch("badspec.s");
+    fs::write(&src, PROGRAM).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pbpredict"))
+        .args([src.to_str().unwrap(), "--predictor", "tage:9"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("bad predictor spec"), "{err}");
+    fs::remove_file(src).ok();
+}

@@ -1,0 +1,481 @@
+//! A two-pass text assembler for the predicated ISA.
+//!
+//! The accepted syntax is exactly what the [`Inst`] `Display` impl
+//! produces, plus labels and comments, so disassembled programs
+//! re-assemble to the same instructions:
+//!
+//! ```text
+//!     // comments with //, #, or ; to end of line
+//!     mov r1 = 100
+//! loop:
+//!     cmp.lt.unc p1, p2 = r2, r3     // cmp.<cond>[.<ctype>]
+//!     (p1) add r4 = r4, 1            // optional (pN) guard prefix
+//!     (p2) ld r5 = [r6 + 8]
+//!     (p2) st [r6 + 16] = r5
+//!     (p1) br.region 3, exit         // region-based branch, region id 3
+//!     br loop                        // label or absolute @N target
+//! exit:
+//!     halt
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::inst::{AluOp, Inst, Op, Src};
+use crate::pred::{CmpCond, CmpType};
+use crate::program::Program;
+use crate::reg::{Gpr, PredReg};
+
+/// Assembles source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the 1-based source line of the first
+/// problem (unknown mnemonic, bad operand, undefined/duplicate label), or
+/// line 0 if the assembled program fails whole-program validation.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_isa::assemble;
+///
+/// let p = assemble("start: nop\n br start\n halt")?;
+/// assert_eq!(p.resolve_label("start"), Some(0));
+/// # Ok::<(), predbranch_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut pending: Vec<(u32, String)> = Vec::new();
+
+    // Pass 1: collect labels and instruction lines.
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let mut text = strip_comment(raw).trim().to_string();
+        // A line may carry several labels before its instruction.
+        while let Some(colon) = find_label(&text) {
+            let name = text[..colon].trim().to_string();
+            if labels.insert(name.clone(), pending.len() as u32).is_some() {
+                return Err(AsmError::new(line_no, AsmErrorKind::DuplicateLabel(name)));
+            }
+            text = text[colon + 1..].trim().to_string();
+        }
+        if !text.is_empty() {
+            pending.push((line_no, text));
+        }
+    }
+
+    // Pass 2: parse instructions with labels resolved.
+    let mut insts = Vec::with_capacity(pending.len());
+    for (line_no, text) in &pending {
+        insts.push(parse_inst(*line_no, text, &labels)?);
+    }
+
+    Program::with_labels(insts, labels)
+        .map_err(|e| AsmError::new(0, AsmErrorKind::InvalidProgram(e)))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for marker in ["//", "#", ";"] {
+        if let Some(pos) = line.find(marker) {
+            end = end.min(pos);
+        }
+    }
+    &line[..end]
+}
+
+/// Finds a leading `label:` in `text`, returning the colon's byte index.
+///
+/// Only identifiers (alphanumeric, `_`, `.`) count, so the `:` never
+/// collides with operand syntax (which contains `=`, `[`, etc.).
+fn find_label(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    let candidate = text[..colon].trim();
+    if !candidate.is_empty()
+        && candidate
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+        && !candidate.chars().next().unwrap().is_ascii_digit()
+    {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn malformed(line: u32, msg: impl Into<String>) -> AsmError {
+    AsmError::new(line, AsmErrorKind::Malformed(msg.into()))
+}
+
+fn parse_gpr(line: u32, token: &str) -> Result<Gpr, AsmError> {
+    let bad = || AsmError::new(line, AsmErrorKind::BadRegister(token.to_string()));
+    let idx: u8 = token
+        .strip_prefix('r')
+        .ok_or_else(bad)?
+        .parse()
+        .map_err(|_| bad())?;
+    Gpr::new(idx).ok_or_else(bad)
+}
+
+fn parse_pred(line: u32, token: &str) -> Result<PredReg, AsmError> {
+    let bad = || AsmError::new(line, AsmErrorKind::BadRegister(token.to_string()));
+    let idx: u8 = token
+        .strip_prefix('p')
+        .ok_or_else(bad)?
+        .parse()
+        .map_err(|_| bad())?;
+    PredReg::new(idx).ok_or_else(bad)
+}
+
+fn parse_imm(line: u32, token: &str) -> Result<i32, AsmError> {
+    token
+        .parse::<i32>()
+        .map_err(|_| AsmError::new(line, AsmErrorKind::BadImmediate(token.to_string())))
+}
+
+fn parse_src(line: u32, token: &str) -> Result<Src, AsmError> {
+    if token.starts_with('r') && token[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Src::Reg(parse_gpr(line, token)?))
+    } else if token.starts_with('-') || token.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        Ok(Src::Imm(parse_imm(line, token)?))
+    } else {
+        Err(AsmError::new(
+            line,
+            AsmErrorKind::BadOperand(token.to_string()),
+        ))
+    }
+}
+
+fn parse_target(
+    line: u32,
+    token: &str,
+    labels: &BTreeMap<String, u32>,
+) -> Result<u32, AsmError> {
+    if let Some(abs) = token.strip_prefix('@') {
+        return abs
+            .parse::<u32>()
+            .map_err(|_| AsmError::new(line, AsmErrorKind::BadOperand(token.to_string())));
+    }
+    labels
+        .get(token)
+        .copied()
+        .ok_or_else(|| AsmError::new(line, AsmErrorKind::UndefinedLabel(token.to_string())))
+}
+
+/// Splits `"a = b, c"` shapes: returns (lhs tokens, rhs tokens).
+fn split_assign(line: u32, text: &str) -> Result<(Vec<&str>, Vec<&str>), AsmError> {
+    let (lhs, rhs) = text
+        .split_once('=')
+        .ok_or_else(|| malformed(line, format!("expected `=` in `{text}`")))?;
+    Ok((
+        lhs.split(',').map(str::trim).filter(|s| !s.is_empty()).collect(),
+        rhs.split(',').map(str::trim).filter(|s| !s.is_empty()).collect(),
+    ))
+}
+
+/// Parses `[rB + off]` / `[rB - off]` / `[rB]` memory operands.
+fn parse_mem(line: u32, token: &str) -> Result<(Gpr, i32), AsmError> {
+    let inner = token
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| malformed(line, format!("expected `[base + offset]`, got `{token}`")))?
+        .trim();
+    if let Some((base, off)) = inner.split_once('+') {
+        Ok((parse_gpr(line, base.trim())?, parse_imm(line, off.trim())?))
+    } else if let Some((base, off)) = inner.split_once('-') {
+        let off = parse_imm(line, off.trim())?;
+        let neg = off
+            .checked_neg()
+            .ok_or_else(|| AsmError::new(line, AsmErrorKind::BadImmediate(inner.to_string())))?;
+        Ok((parse_gpr(line, base.trim())?, neg))
+    } else {
+        Ok((parse_gpr(line, inner)?, 0))
+    }
+}
+
+fn parse_inst(
+    line: u32,
+    text: &str,
+    labels: &BTreeMap<String, u32>,
+) -> Result<Inst, AsmError> {
+    // Optional guard prefix.
+    let (guard, rest) = if let Some(after) = text.strip_prefix('(') {
+        let close = after
+            .find(')')
+            .ok_or_else(|| malformed(line, "unclosed guard `(`"))?;
+        (
+            parse_pred(line, after[..close].trim())?,
+            after[close + 1..].trim(),
+        )
+    } else {
+        (PredReg::TRUE, text)
+    };
+
+    let (mnemonic, operands) = match rest.split_once(char::is_whitespace) {
+        Some((m, rest)) => (m.trim(), rest.trim()),
+        None => (rest, ""),
+    };
+
+    let op = match mnemonic {
+        "nop" => Op::Nop,
+        "halt" => Op::Halt,
+        "br" => Op::Br {
+            target: parse_target(line, operands, labels)?,
+            region: None,
+        },
+        "br.region" => {
+            let (region, target) = operands
+                .split_once(',')
+                .ok_or_else(|| malformed(line, "expected `br.region <id>, <target>`"))?;
+            let region: u16 = region.trim().parse().map_err(|_| {
+                AsmError::new(line, AsmErrorKind::BadImmediate(region.trim().to_string()))
+            })?;
+            Op::Br {
+                target: parse_target(line, target.trim(), labels)?,
+                region: Some(region),
+            }
+        }
+        "mov" => {
+            let (lhs, rhs) = split_assign(line, operands)?;
+            if lhs.len() != 1 || rhs.len() != 1 {
+                return Err(malformed(line, "expected `mov rD = src`"));
+            }
+            Op::Mov {
+                dst: parse_gpr(line, lhs[0])?,
+                src: parse_src(line, rhs[0])?,
+            }
+        }
+        "ld" => {
+            let (lhs, rhs) = split_assign(line, operands)?;
+            if lhs.len() != 1 || rhs.len() != 1 {
+                return Err(malformed(line, "expected `ld rD = [base + off]`"));
+            }
+            let (base, offset) = parse_mem(line, rhs[0])?;
+            Op::Load {
+                dst: parse_gpr(line, lhs[0])?,
+                base,
+                offset,
+            }
+        }
+        "st" => {
+            let (lhs, rhs) = split_assign(line, operands)?;
+            if lhs.len() != 1 || rhs.len() != 1 {
+                return Err(malformed(line, "expected `st [base + off] = rS`"));
+            }
+            let (base, offset) = parse_mem(line, lhs[0])?;
+            Op::Store {
+                src: parse_gpr(line, rhs[0])?,
+                base,
+                offset,
+            }
+        }
+        m if m.starts_with("cmp.") => {
+            let suffix = &m[4..];
+            let (cond_str, ctype_str) = match suffix.split_once('.') {
+                Some((c, t)) => (c, t),
+                None => (suffix, ""),
+            };
+            let cond: CmpCond = cond_str.parse().map_err(|_| {
+                AsmError::new(line, AsmErrorKind::UnknownMnemonic(m.to_string()))
+            })?;
+            let ctype: CmpType = ctype_str.parse().map_err(|_| {
+                AsmError::new(line, AsmErrorKind::UnknownMnemonic(m.to_string()))
+            })?;
+            let (lhs, rhs) = split_assign(line, operands)?;
+            if lhs.len() != 2 || rhs.len() != 2 {
+                return Err(malformed(
+                    line,
+                    "expected `cmp.<cond>[.<ctype>] pT, pF = src1, src2`",
+                ));
+            }
+            Op::Cmp {
+                ctype,
+                cond,
+                p_true: parse_pred(line, lhs[0])?,
+                p_false: parse_pred(line, lhs[1])?,
+                src1: parse_gpr(line, rhs[0])?,
+                src2: parse_src(line, rhs[1])?,
+            }
+        }
+        m => {
+            if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == m) {
+                let (lhs, rhs) = split_assign(line, operands)?;
+                if lhs.len() != 1 || rhs.len() != 2 {
+                    return Err(malformed(line, "expected `op rD = rS1, src2`"));
+                }
+                Op::Alu {
+                    op: *op,
+                    dst: parse_gpr(line, lhs[0])?,
+                    src1: parse_gpr(line, rhs[0])?,
+                    src2: parse_src(line, rhs[1])?,
+                }
+            } else {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::UnknownMnemonic(m.to_string()),
+                ));
+            }
+        }
+    };
+    Ok(Inst::guarded(guard, op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_all_mnemonics() {
+        let p = assemble(
+            r#"
+            // a program touching every mnemonic
+            start:
+                nop
+                mov r1 = -5
+                mov r2 = r1
+                add r3 = r1, r2
+                sub r3 = r3, 1
+                mul r4 = r3, r3
+                div r5 = r4, r3
+                rem r6 = r4, 3
+                and r7 = r6, 1
+                or  r7 = r7, 2
+                xor r7 = r7, r6
+                shl r8 = r7, 2
+                shr r8 = r8, r7
+                ld r9 = [r8 + 4]
+                st [r8 + 8] = r9
+                st [r8 - 8] = r9
+                ld r9 = [r8]
+                cmp.eq p1, p2 = r1, r2
+                cmp.lt.unc p3, p4 = r1, 7
+                cmp.gt.and p5, p6 = r2, r3
+                cmp.ne.or p5, p6 = r2, 0
+                cmp.ge.or.andcm p7, p8 = r2, r3
+                (p1) br start
+                (p2) br.region 9, start
+                br @0
+                halt
+            "#,
+        )
+        .expect("assembles");
+        assert_eq!(p.len(), 26);
+        assert_eq!(p.resolve_label("start"), Some(0));
+    }
+
+    #[test]
+    fn guard_prefix_parsed() {
+        let p = assemble("(p7) nop\n halt").unwrap();
+        assert_eq!(p.inst(0).unwrap().guard, PredReg::new(7).unwrap());
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let p = assemble("br end\n nop\nend: halt").unwrap();
+        match p.inst(0).unwrap().op {
+            Op::Br { target, .. } => assert_eq!(target, 2),
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_on_same_line_as_inst() {
+        let p = assemble("top: nop\n br top\n halt").unwrap();
+        assert_eq!(p.resolve_label("top"), Some(0));
+    }
+
+    #[test]
+    fn multiple_labels_same_pc() {
+        let p = assemble("a: b: halt").unwrap();
+        assert_eq!(p.resolve_label("a"), Some(0));
+        assert_eq!(p.resolve_label("b"), Some(0));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let p = assemble("nop // one\nnop # two\nnop ; three\nhalt").unwrap();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble("nop\nfrobnicate r1\nhalt").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let err = assemble("mov r64 = 0\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadRegister(_)));
+        let err = assemble("cmp.eq p64, p1 = r1, r2\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadRegister(_)));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let err = assemble("br nowhere\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedLabel(_)));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("x: nop\nx: halt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn missing_halt_surfaces_as_program_error() {
+        let err = assemble("nop").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(matches!(err.kind, AsmErrorKind::InvalidProgram(_)));
+    }
+
+    #[test]
+    fn bad_immediate_rejected() {
+        let err = assemble("mov r1 = 99999999999999\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadImmediate(_)));
+    }
+
+    #[test]
+    fn malformed_shapes_rejected() {
+        for bad in [
+            "mov r1\nhalt",
+            "add r1 = r2\nhalt",
+            "ld r1 = r2\nhalt",
+            "br.region 5\nhalt",
+            "cmp.eq p1 = r1, r2\nhalt",
+            "(p1 nop\nhalt",
+        ] {
+            assert!(assemble(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn region_branch_carries_id() {
+        let p = assemble("x: (p3) br.region 12, x\nhalt").unwrap();
+        match p.inst(0).unwrap().op {
+            Op::Br { region, .. } => assert_eq!(region, Some(12)),
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disassembly_reassembles_identically() {
+        let source = r#"
+            mov r1 = 10
+        loop:
+            cmp.gt p1, p2 = r1, 0
+            (p1) sub r1 = r1, 1
+            (p2) br.region 4, done
+            (p1) br loop
+        done:
+            halt
+        "#;
+        let p1 = assemble(source).unwrap();
+        // Display uses absolute @N targets, which the assembler accepts.
+        let p2 = assemble(&p1.to_string()).unwrap();
+        assert_eq!(p1.insts(), p2.insts());
+    }
+}

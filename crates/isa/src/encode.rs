@@ -1,0 +1,438 @@
+//! Binary encoding of instructions into 64-bit words.
+//!
+//! The encoding is a fixed-width research format, not a claim about IA-64
+//! bundle layout: its purpose is to give programs a concrete binary form
+//! (so storage-budget arithmetic and fetch modelling are honest) and to be
+//! exactly invertible, which the property tests check.
+//!
+//! Word layout (little-endian bit numbering):
+//!
+//! ```text
+//! bits  [0,6)   guard predicate register
+//! bits  [6,12)  opcode
+//! bits  [12,..) operands, per opcode (see source)
+//! ```
+
+use crate::error::EncodeError;
+use crate::inst::{AluOp, Inst, Op, Src};
+use crate::pred::{CmpCond, CmpType};
+use crate::program::Program;
+use crate::reg::{Gpr, PredReg};
+
+const OP_NOP: u8 = 0;
+const OP_HALT: u8 = 1;
+const OP_BR: u8 = 2;
+const OP_BR_REGION: u8 = 3;
+const OP_MOV_R: u8 = 4;
+const OP_MOV_I: u8 = 5;
+const OP_LOAD: u8 = 6;
+const OP_STORE: u8 = 7;
+const OP_CMP_R: u8 = 8;
+const OP_CMP_I: u8 = 9;
+const OP_ALU_R_BASE: u8 = 16;
+const OP_ALU_I_BASE: u8 = 32;
+
+fn field(word: u64, lo: u32, bits: u32) -> u64 {
+    (word >> lo) & ((1u64 << bits) - 1)
+}
+
+fn put(word: &mut u64, lo: u32, bits: u32, value: u64) {
+    debug_assert!(value < (1u64 << bits), "field value out of range");
+    *word |= (value & ((1u64 << bits) - 1)) << lo;
+}
+
+fn gpr_field(word: u64, lo: u32) -> Gpr {
+    // 6-bit fields cannot exceed 63, so this cannot fail.
+    Gpr::new(field(word, lo, 6) as u8).expect("6-bit register field")
+}
+
+fn pred_field(word: u64, lo: u32) -> PredReg {
+    PredReg::new(field(word, lo, 6) as u8).expect("6-bit predicate field")
+}
+
+fn alu_index(op: AluOp) -> u8 {
+    AluOp::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("AluOp::ALL is exhaustive") as u8
+}
+
+fn ctype_index(c: CmpType) -> u8 {
+    CmpType::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("CmpType::ALL is exhaustive") as u8
+}
+
+fn cond_index(c: CmpCond) -> u8 {
+    CmpCond::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("CmpCond::ALL is exhaustive") as u8
+}
+
+/// Encodes one instruction into a 64-bit word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::CmpImmOutOfRange`] if a compare immediate does
+/// not fit the 16-bit field (all other immediates fit by construction).
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_isa::{decode, encode, Inst, Op};
+///
+/// let inst = Inst::new(Op::Halt);
+/// let word = encode(&inst)?;
+/// assert_eq!(decode(word)?, inst);
+/// # Ok::<(), predbranch_isa::EncodeError>(())
+/// ```
+pub fn encode(inst: &Inst) -> Result<u64, EncodeError> {
+    let mut w = 0u64;
+    put(&mut w, 0, 6, inst.guard.index() as u64);
+    match inst.op {
+        Op::Nop => put(&mut w, 6, 6, OP_NOP as u64),
+        Op::Halt => put(&mut w, 6, 6, OP_HALT as u64),
+        Op::Br { target, region } => match region {
+            None => {
+                put(&mut w, 6, 6, OP_BR as u64);
+                put(&mut w, 12, 32, target as u64);
+            }
+            Some(r) => {
+                put(&mut w, 6, 6, OP_BR_REGION as u64);
+                put(&mut w, 12, 32, target as u64);
+                put(&mut w, 44, 16, r as u64);
+            }
+        },
+        Op::Mov { dst, src } => match src {
+            Src::Reg(s) => {
+                put(&mut w, 6, 6, OP_MOV_R as u64);
+                put(&mut w, 12, 6, dst.index() as u64);
+                put(&mut w, 18, 6, s.index() as u64);
+            }
+            Src::Imm(imm) => {
+                put(&mut w, 6, 6, OP_MOV_I as u64);
+                put(&mut w, 12, 6, dst.index() as u64);
+                put(&mut w, 18, 32, imm as u32 as u64);
+            }
+        },
+        Op::Load { dst, base, offset } => {
+            put(&mut w, 6, 6, OP_LOAD as u64);
+            put(&mut w, 12, 6, dst.index() as u64);
+            put(&mut w, 18, 6, base.index() as u64);
+            put(&mut w, 24, 32, offset as u32 as u64);
+        }
+        Op::Store { src, base, offset } => {
+            put(&mut w, 6, 6, OP_STORE as u64);
+            put(&mut w, 12, 6, src.index() as u64);
+            put(&mut w, 18, 6, base.index() as u64);
+            put(&mut w, 24, 32, offset as u32 as u64);
+        }
+        Op::Cmp {
+            ctype,
+            cond,
+            p_true,
+            p_false,
+            src1,
+            src2,
+        } => {
+            let common = |w: &mut u64| {
+                put(w, 12, 3, ctype_index(ctype) as u64);
+                put(w, 15, 3, cond_index(cond) as u64);
+                put(w, 18, 6, p_true.index() as u64);
+                put(w, 24, 6, p_false.index() as u64);
+                put(w, 30, 6, src1.index() as u64);
+            };
+            match src2 {
+                Src::Reg(s) => {
+                    put(&mut w, 6, 6, OP_CMP_R as u64);
+                    common(&mut w);
+                    put(&mut w, 36, 6, s.index() as u64);
+                }
+                Src::Imm(imm) => {
+                    let imm16 = i16::try_from(imm)
+                        .map_err(|_| EncodeError::CmpImmOutOfRange { imm })?;
+                    put(&mut w, 6, 6, OP_CMP_I as u64);
+                    common(&mut w);
+                    put(&mut w, 36, 16, imm16 as u16 as u64);
+                }
+            }
+        }
+        Op::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => match src2 {
+            Src::Reg(s) => {
+                put(&mut w, 6, 6, (OP_ALU_R_BASE + alu_index(op)) as u64);
+                put(&mut w, 12, 6, dst.index() as u64);
+                put(&mut w, 18, 6, src1.index() as u64);
+                put(&mut w, 24, 6, s.index() as u64);
+            }
+            Src::Imm(imm) => {
+                put(&mut w, 6, 6, (OP_ALU_I_BASE + alu_index(op)) as u64);
+                put(&mut w, 12, 6, dst.index() as u64);
+                put(&mut w, 18, 6, src1.index() as u64);
+                put(&mut w, 24, 32, imm as u32 as u64);
+            }
+        },
+    }
+    Ok(w)
+}
+
+/// Decodes a 64-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::BadOpcode`] for an unknown opcode and
+/// [`EncodeError::BadField`] for a malformed compare type/condition field.
+pub fn decode(word: u64) -> Result<Inst, EncodeError> {
+    let guard = pred_field(word, 0);
+    let opcode = field(word, 6, 6) as u8;
+    let op = match opcode {
+        OP_NOP => Op::Nop,
+        OP_HALT => Op::Halt,
+        OP_BR => Op::Br {
+            target: field(word, 12, 32) as u32,
+            region: None,
+        },
+        OP_BR_REGION => Op::Br {
+            target: field(word, 12, 32) as u32,
+            region: Some(field(word, 44, 16) as u16),
+        },
+        OP_MOV_R => Op::Mov {
+            dst: gpr_field(word, 12),
+            src: Src::Reg(gpr_field(word, 18)),
+        },
+        OP_MOV_I => Op::Mov {
+            dst: gpr_field(word, 12),
+            src: Src::Imm(field(word, 18, 32) as u32 as i32),
+        },
+        OP_LOAD => Op::Load {
+            dst: gpr_field(word, 12),
+            base: gpr_field(word, 18),
+            offset: field(word, 24, 32) as u32 as i32,
+        },
+        OP_STORE => Op::Store {
+            src: gpr_field(word, 12),
+            base: gpr_field(word, 18),
+            offset: field(word, 24, 32) as u32 as i32,
+        },
+        OP_CMP_R | OP_CMP_I => {
+            let ctype = *CmpType::ALL
+                .get(field(word, 12, 3) as usize)
+                .ok_or(EncodeError::BadField { field: "ctype" })?;
+            let cond = *CmpCond::ALL
+                .get(field(word, 15, 3) as usize)
+                .ok_or(EncodeError::BadField { field: "cond" })?;
+            let src2 = if opcode == OP_CMP_R {
+                Src::Reg(gpr_field(word, 36))
+            } else {
+                Src::Imm(field(word, 36, 16) as u16 as i16 as i32)
+            };
+            Op::Cmp {
+                ctype,
+                cond,
+                p_true: pred_field(word, 18),
+                p_false: pred_field(word, 24),
+                src1: gpr_field(word, 30),
+                src2,
+            }
+        }
+        _ => {
+            let (base, is_imm) = if (OP_ALU_R_BASE..OP_ALU_R_BASE + 10).contains(&opcode) {
+                (OP_ALU_R_BASE, false)
+            } else if (OP_ALU_I_BASE..OP_ALU_I_BASE + 10).contains(&opcode) {
+                (OP_ALU_I_BASE, true)
+            } else {
+                return Err(EncodeError::BadOpcode { opcode });
+            };
+            let op = AluOp::ALL[(opcode - base) as usize];
+            let src2 = if is_imm {
+                Src::Imm(field(word, 24, 32) as u32 as i32)
+            } else {
+                Src::Reg(gpr_field(word, 24))
+            };
+            Op::Alu {
+                op,
+                dst: gpr_field(word, 12),
+                src1: gpr_field(word, 18),
+                src2,
+            }
+        }
+    };
+    Ok(Inst { guard, op })
+}
+
+/// Encodes a whole program into words.
+///
+/// # Errors
+///
+/// Propagates the first [`EncodeError`] encountered.
+pub fn encode_program(program: &Program) -> Result<Vec<u64>, EncodeError> {
+    program.insts().iter().map(encode).collect()
+}
+
+/// Decodes words back into instructions (without [`Program`] validation,
+/// which requires label context the binary form does not carry).
+///
+/// # Errors
+///
+/// Propagates the first [`EncodeError`] encountered.
+pub fn decode_program(words: &[u64]) -> Result<Vec<Inst>, EncodeError> {
+    words.iter().map(|&w| decode(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Gpr {
+        Gpr::new(i).unwrap()
+    }
+
+    fn p(i: u8) -> PredReg {
+        PredReg::new(i).unwrap()
+    }
+
+    fn roundtrip(inst: Inst) {
+        let word = encode(&inst).expect("encodable");
+        let back = decode(word).expect("decodable");
+        assert_eq!(back, inst, "word {word:#018x}");
+    }
+
+    #[test]
+    fn roundtrip_every_shape() {
+        let shapes = vec![
+            Inst::new(Op::Nop),
+            Inst::guarded(p(63), Op::Halt),
+            Inst::new(Op::Br { target: 0, region: None }),
+            Inst::guarded(p(5), Op::Br { target: u32::MAX, region: None }),
+            Inst::guarded(p(5), Op::Br { target: 1234, region: Some(u16::MAX) }),
+            Inst::new(Op::Mov { dst: r(63), src: Src::Reg(r(1)) }),
+            Inst::new(Op::Mov { dst: r(1), src: Src::Imm(i32::MIN) }),
+            Inst::new(Op::Mov { dst: r(1), src: Src::Imm(i32::MAX) }),
+            Inst::guarded(p(7), Op::Load { dst: r(2), base: r(3), offset: -1 }),
+            Inst::new(Op::Store { src: r(9), base: r(10), offset: i32::MAX }),
+            Inst::new(Op::Cmp {
+                ctype: CmpType::OrAndcm,
+                cond: CmpCond::Ge,
+                p_true: p(62),
+                p_false: p(61),
+                src1: r(11),
+                src2: Src::Reg(r(12)),
+            }),
+            Inst::new(Op::Cmp {
+                ctype: CmpType::Unc,
+                cond: CmpCond::Ne,
+                p_true: p(1),
+                p_false: p(2),
+                src1: r(3),
+                src2: Src::Imm(-32768),
+            }),
+        ];
+        for inst in shapes {
+            roundtrip(inst);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_alu_ops_reg_and_imm() {
+        for op in AluOp::ALL {
+            roundtrip(Inst::new(Op::Alu {
+                op,
+                dst: r(1),
+                src1: r(2),
+                src2: Src::Reg(r(3)),
+            }));
+            roundtrip(Inst::guarded(
+                p(4),
+                Op::Alu {
+                    op,
+                    dst: r(1),
+                    src1: r(2),
+                    src2: Src::Imm(-12345),
+                },
+            ));
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_cmp_types_and_conds() {
+        for ctype in CmpType::ALL {
+            for cond in CmpCond::ALL {
+                roundtrip(Inst::new(Op::Cmp {
+                    ctype,
+                    cond,
+                    p_true: p(10),
+                    p_false: p(11),
+                    src1: r(4),
+                    src2: Src::Imm(100),
+                }));
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_immediate_range_enforced() {
+        let mk = |imm| {
+            Inst::new(Op::Cmp {
+                ctype: CmpType::Norm,
+                cond: CmpCond::Eq,
+                p_true: p(1),
+                p_false: p(2),
+                src1: r(1),
+                src2: Src::Imm(imm),
+            })
+        };
+        assert!(encode(&mk(32767)).is_ok());
+        assert!(encode(&mk(-32768)).is_ok());
+        assert_eq!(
+            encode(&mk(32768)),
+            Err(EncodeError::CmpImmOutOfRange { imm: 32768 })
+        );
+        assert_eq!(
+            encode(&mk(-32769)),
+            Err(EncodeError::CmpImmOutOfRange { imm: -32769 })
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        // opcode 63 is unused
+        let word = 63u64 << 6;
+        assert_eq!(decode(word), Err(EncodeError::BadOpcode { opcode: 63 }));
+    }
+
+    #[test]
+    fn malformed_ctype_rejected() {
+        // CMP_R with ctype field = 7
+        let mut w = 0u64;
+        put(&mut w, 6, 6, OP_CMP_R as u64);
+        put(&mut w, 12, 3, 7);
+        assert_eq!(decode(w), Err(EncodeError::BadField { field: "ctype" }));
+    }
+
+    #[test]
+    fn malformed_cond_rejected() {
+        let mut w = 0u64;
+        put(&mut w, 6, 6, OP_CMP_I as u64);
+        put(&mut w, 15, 3, 6);
+        assert_eq!(decode(w), Err(EncodeError::BadField { field: "cond" }));
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let program = Program::new(vec![
+            Inst::new(Op::Mov { dst: r(1), src: Src::Imm(5) }),
+            Inst::guarded(p(1), Op::Br { target: 0, region: Some(2) }),
+            Inst::new(Op::Halt),
+        ])
+        .unwrap();
+        let words = encode_program(&program).unwrap();
+        let insts = decode_program(&words).unwrap();
+        assert_eq!(insts, program.insts());
+    }
+}

@@ -1,0 +1,177 @@
+//! Error types for assembly, encoding, and program validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a program failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A branch at `pc` targets an instruction index outside the program.
+    BranchOutOfRange {
+        /// Location of the offending branch.
+        pc: u32,
+        /// The out-of-range target.
+        target: u32,
+        /// Program length.
+        len: u32,
+    },
+    /// The program contains no `halt`, so execution could never terminate
+    /// cleanly.
+    NoHalt,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => f.write_str("program is empty"),
+            ProgramError::BranchOutOfRange { pc, target, len } => write!(
+                f,
+                "branch at pc {pc} targets {target}, outside program of length {len}"
+            ),
+            ProgramError::NoHalt => f.write_str("program contains no halt instruction"),
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// Why an instruction could not be binary-encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A compare immediate does not fit the 16-bit encoding field.
+    CmpImmOutOfRange {
+        /// The offending immediate.
+        imm: i32,
+    },
+    /// A decoded word has an unknown opcode.
+    BadOpcode {
+        /// The unknown opcode value.
+        opcode: u8,
+    },
+    /// A decoded word has an out-of-range register field.
+    BadField {
+        /// Name of the malformed field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::CmpImmOutOfRange { imm } => {
+                write!(f, "compare immediate {imm} does not fit 16 bits")
+            }
+            EncodeError::BadOpcode { opcode } => write!(f, "unknown opcode {opcode}"),
+            EncodeError::BadField { field } => write!(f, "malformed {field} field"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// What went wrong on a particular assembler line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Unknown instruction mnemonic.
+    UnknownMnemonic(String),
+    /// A register name failed to parse or was out of range.
+    BadRegister(String),
+    /// An operand failed to parse.
+    BadOperand(String),
+    /// An immediate failed to parse or was out of range.
+    BadImmediate(String),
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// The line's overall shape didn't match the mnemonic's syntax.
+    Malformed(String),
+    /// The assembled program failed validation.
+    InvalidProgram(ProgramError),
+}
+
+/// An assembly failure with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text (0 for whole-program errors).
+    pub line: u32,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: u32, kind: AsmErrorKind) -> Self {
+        AsmError { line, kind }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadRegister(r) => write!(f, "bad register `{r}`"),
+            AsmErrorKind::BadOperand(o) => write!(f, "bad operand `{o}`"),
+            AsmErrorKind::BadImmediate(i) => write!(f, "bad immediate `{i}`"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::Malformed(m) => write!(f, "malformed instruction: {m}"),
+            AsmErrorKind::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_error_messages() {
+        assert_eq!(ProgramError::Empty.to_string(), "program is empty");
+        let e = ProgramError::BranchOutOfRange {
+            pc: 3,
+            target: 99,
+            len: 10,
+        };
+        assert!(e.to_string().contains("pc 3"));
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn encode_error_messages() {
+        assert!(EncodeError::CmpImmOutOfRange { imm: 70000 }
+            .to_string()
+            .contains("70000"));
+        assert!(EncodeError::BadOpcode { opcode: 63 }
+            .to_string()
+            .contains("63"));
+    }
+
+    #[test]
+    fn asm_error_includes_line() {
+        let e = AsmError::new(12, AsmErrorKind::UnknownMnemonic("frob".into()));
+        let text = e.to_string();
+        assert!(text.contains("line 12"));
+        assert!(text.contains("frob"));
+    }
+
+    #[test]
+    fn whole_program_asm_error_omits_line() {
+        let e = AsmError::new(0, AsmErrorKind::InvalidProgram(ProgramError::NoHalt));
+        assert!(!e.to_string().contains("line"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(ProgramError::Empty);
+        takes_error(EncodeError::BadOpcode { opcode: 1 });
+        takes_error(AsmError::new(1, AsmErrorKind::Malformed("x".into())));
+    }
+}

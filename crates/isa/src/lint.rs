@@ -1,0 +1,217 @@
+//! Static lints for predicated programs.
+//!
+//! The [`Program`] type enforces hard validity (targets in range, a halt
+//! exists); these lints catch the *probably wrong* patterns that are
+//! still executable — the checks `pbasm check` reports.
+
+use std::fmt;
+
+use crate::inst::Op;
+use crate::program::Program;
+use crate::reg::PredReg;
+
+/// One static finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// An instruction is guarded by a predicate no compare in the program
+    /// ever writes — the guard is stuck at its reset value (false), so
+    /// the instruction can never execute.
+    GuardNeverDefined {
+        /// Location of the guarded instruction.
+        pc: u32,
+        /// The undefined guard.
+        guard: PredReg,
+    },
+    /// A compare targets `p0`, whose writes are architecturally ignored.
+    WriteToP0 {
+        /// Location of the compare.
+        pc: u32,
+    },
+    /// The instruction can never be fetched: no control path from the
+    /// entry reaches it.
+    Unreachable {
+        /// Location of the dead instruction.
+        pc: u32,
+    },
+    /// Execution may run past the last instruction (the final reachable
+    /// instruction is neither an unconditional branch nor an
+    /// unconditional halt). The simulator stops gracefully but the
+    /// program is probably missing a `halt`.
+    MayFallOffEnd,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::GuardNeverDefined { pc, guard } => write!(
+                f,
+                "pc {pc}: guard {guard} is never written by any compare (instruction is dead)"
+            ),
+            Lint::WriteToP0 { pc } => {
+                write!(f, "pc {pc}: compare writes p0, which ignores writes")
+            }
+            Lint::Unreachable { pc } => write!(f, "pc {pc}: unreachable instruction"),
+            Lint::MayFallOffEnd => {
+                f.write_str("execution may fall off the end of the program")
+            }
+        }
+    }
+}
+
+/// Runs all lints over a program.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_isa::{assemble, lint_program, Lint};
+///
+/// // p5 is never defined: the guarded add can never execute
+/// let p = assemble("(p5) add r1 = r1, 1\n halt").unwrap();
+/// let lints = lint_program(&p);
+/// assert!(matches!(lints[0], Lint::GuardNeverDefined { pc: 0, .. }));
+/// ```
+pub fn lint_program(program: &Program) -> Vec<Lint> {
+    let mut lints = Vec::new();
+
+    // Which predicates does some compare write?
+    let mut written = [false; crate::reg::NUM_PREDS];
+    written[0] = true;
+    for (pc, inst) in program.iter() {
+        if let Op::Cmp {
+            p_true, p_false, ..
+        } = inst.op
+        {
+            written[p_true.index() as usize] = true;
+            written[p_false.index() as usize] = true;
+            if p_true.is_always_true() || p_false.is_always_true() {
+                lints.push(Lint::WriteToP0 { pc });
+            }
+        }
+    }
+    for (pc, inst) in program.iter() {
+        if inst.is_predicated() && !written[inst.guard.index() as usize] {
+            lints.push(Lint::GuardNeverDefined {
+                pc,
+                guard: inst.guard,
+            });
+        }
+    }
+
+    // Reachability from pc 0. Conservative: a guarded halt/branch may
+    // fall through; unguarded ones do not.
+    let len = program.len();
+    let mut reachable = vec![false; len as usize];
+    let mut work = vec![0u32];
+    let mut may_fall_off = false;
+    while let Some(pc) = work.pop() {
+        if pc >= len {
+            may_fall_off = true;
+            continue;
+        }
+        if std::mem::replace(&mut reachable[pc as usize], true) {
+            continue;
+        }
+        let inst = program.inst(pc).expect("pc is in range");
+        let unconditional = inst.guard.is_always_true();
+        match inst.op {
+            Op::Br { target, .. } => {
+                work.push(target);
+                if !unconditional {
+                    work.push(pc + 1);
+                }
+            }
+            Op::Halt => {
+                if !unconditional {
+                    work.push(pc + 1);
+                }
+            }
+            _ => work.push(pc + 1),
+        }
+    }
+    for (pc, flag) in reachable.iter().enumerate() {
+        if !flag {
+            lints.push(Lint::Unreachable { pc: pc as u32 });
+        }
+    }
+    if may_fall_off {
+        lints.push(Lint::MayFallOffEnd);
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn clean_program_has_no_lints() {
+        let p = assemble(
+            r#"
+                mov r1 = 0
+            loop:
+                cmp.lt p1, p2 = r1, 10
+                (p1) add r1 = r1, 1
+                (p1) br loop
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(lint_program(&p), vec![]);
+    }
+
+    #[test]
+    fn undefined_guard_detected() {
+        let p = assemble("(p9) nop\n halt").unwrap();
+        let lints = lint_program(&p);
+        assert!(lints.iter().any(|l| matches!(
+            l,
+            Lint::GuardNeverDefined { pc: 0, guard } if guard.index() == 9
+        )));
+    }
+
+    #[test]
+    fn write_to_p0_detected() {
+        let p = assemble("cmp.eq p0, p1 = r1, 0\n halt").unwrap();
+        let lints = lint_program(&p);
+        assert!(lints.contains(&Lint::WriteToP0 { pc: 0 }));
+    }
+
+    #[test]
+    fn unreachable_after_unconditional_branch() {
+        let p = assemble("br end\n mov r1 = 1\nend: halt").unwrap();
+        let lints = lint_program(&p);
+        assert!(lints.contains(&Lint::Unreachable { pc: 1 }));
+    }
+
+    #[test]
+    fn code_after_guarded_branch_is_reachable() {
+        let p = assemble("cmp.eq p1, p2 = r0, r0\n (p1) br end\n mov r1 = 1\nend: halt")
+            .unwrap();
+        let lints = lint_program(&p);
+        assert!(!lints.iter().any(|l| matches!(l, Lint::Unreachable { .. })));
+    }
+
+    #[test]
+    fn fallthrough_end_detected() {
+        // jump over the halt to a guarded branch at the end
+        let p = assemble("br end\n halt\nend: cmp.eq p1, p2 = r0, r1\n (p2) br @1").unwrap();
+        let lints = lint_program(&p);
+        assert!(lints.contains(&Lint::MayFallOffEnd));
+    }
+
+    #[test]
+    fn guarded_final_halt_counts_as_fallthrough_risk() {
+        let p = assemble("br end\n halt\nend: cmp.eq p1, p2 = r0, r0\n (p1) halt").unwrap();
+        let lints = lint_program(&p);
+        assert!(lints.contains(&Lint::MayFallOffEnd));
+    }
+
+    #[test]
+    fn lints_render() {
+        let p = assemble("(p9) nop\n halt").unwrap();
+        for lint in lint_program(&p) {
+            assert!(!lint.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Compare conditions and IA-64-style compare types.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The relational condition evaluated by a compare instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpCond {
+    /// `src1 == src2`
+    Eq,
+    /// `src1 != src2`
+    Ne,
+    /// `src1 < src2` (signed)
+    Lt,
+    /// `src1 <= src2` (signed)
+    Le,
+    /// `src1 > src2` (signed)
+    Gt,
+    /// `src1 >= src2` (signed)
+    Ge,
+}
+
+impl CmpCond {
+    /// All conditions, in encoding order.
+    pub const ALL: [CmpCond; 6] = [
+        CmpCond::Eq,
+        CmpCond::Ne,
+        CmpCond::Lt,
+        CmpCond::Le,
+        CmpCond::Gt,
+        CmpCond::Ge,
+    ];
+
+    /// Evaluates the condition on two signed values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use predbranch_isa::CmpCond;
+    ///
+    /// assert!(CmpCond::Lt.eval(-1, 0));
+    /// assert!(!CmpCond::Gt.eval(-1, 0));
+    /// ```
+    pub fn eval(&self, src1: i64, src2: i64) -> bool {
+        match self {
+            CmpCond::Eq => src1 == src2,
+            CmpCond::Ne => src1 != src2,
+            CmpCond::Lt => src1 < src2,
+            CmpCond::Le => src1 <= src2,
+            CmpCond::Gt => src1 > src2,
+            CmpCond::Ge => src1 >= src2,
+        }
+    }
+
+    /// The condition testing the opposite outcome (`Lt` ↔ `Ge`, ...).
+    pub fn negate(&self) -> CmpCond {
+        match self {
+            CmpCond::Eq => CmpCond::Ne,
+            CmpCond::Ne => CmpCond::Eq,
+            CmpCond::Lt => CmpCond::Ge,
+            CmpCond::Le => CmpCond::Gt,
+            CmpCond::Gt => CmpCond::Le,
+            CmpCond::Ge => CmpCond::Lt,
+        }
+    }
+
+    /// The assembler mnemonic suffix (`eq`, `ne`, `lt`, `le`, `gt`, `ge`).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CmpCond::Eq => "eq",
+            CmpCond::Ne => "ne",
+            CmpCond::Lt => "lt",
+            CmpCond::Le => "le",
+            CmpCond::Gt => "gt",
+            CmpCond::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for CmpCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for CmpCond {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CmpCond::ALL
+            .into_iter()
+            .find(|c| c.mnemonic() == s)
+            .ok_or(())
+    }
+}
+
+/// The IA-64 compare *type*, controlling how the two target predicates are
+/// written.
+///
+/// In the rules below `qp` is the value of the compare's guard predicate
+/// and `r` is the relational result; `pt`/`pf` are the two target
+/// predicate registers ("true target" / "false target"):
+///
+/// | type       | `qp == 0`          | `qp == 1`                               |
+/// |------------|--------------------|------------------------------------------|
+/// | `norm`     | unchanged          | `pt = r; pf = !r`                        |
+/// | `unc`      | `pt = 0; pf = 0`   | `pt = r; pf = !r`                        |
+/// | `and`      | unchanged          | if `!r` then `pt = 0; pf = 0`            |
+/// | `or`       | unchanged          | if `r` then `pt = 1; pf = 1`             |
+/// | `or.andcm` | unchanged          | if `r` then `pt = 1; pf = 0`             |
+///
+/// `and`/`or`/`or.andcm` are *parallel* compare types: if-converted code
+/// uses them to accumulate compound conditions across several compares
+/// without intermediate branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpType {
+    /// Normal two-target write.
+    Norm,
+    /// Unconditional: clears both targets when the guard is false.
+    Unc,
+    /// Parallel AND accumulation.
+    And,
+    /// Parallel OR accumulation.
+    Or,
+    /// Parallel OR / AND-complement accumulation.
+    OrAndcm,
+}
+
+impl CmpType {
+    /// All compare types, in encoding order.
+    pub const ALL: [CmpType; 5] = [
+        CmpType::Norm,
+        CmpType::Unc,
+        CmpType::And,
+        CmpType::Or,
+        CmpType::OrAndcm,
+    ];
+
+    /// The assembler mnemonic suffix; `norm` renders as the empty string
+    /// because it is the default.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CmpType::Norm => "",
+            CmpType::Unc => "unc",
+            CmpType::And => "and",
+            CmpType::Or => "or",
+            CmpType::OrAndcm => "or.andcm",
+        }
+    }
+
+    /// Whether this type writes its targets even when the guard is false
+    /// (only `unc` does).
+    pub fn writes_when_guard_false(&self) -> bool {
+        matches!(self, CmpType::Unc)
+    }
+}
+
+impl fmt::Display for CmpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for CmpType {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "" | "norm" => Ok(CmpType::Norm),
+            "unc" => Ok(CmpType::Unc),
+            "and" => Ok(CmpType::And),
+            "or" => Ok(CmpType::Or),
+            "or.andcm" => Ok(CmpType::OrAndcm),
+            _ => Err(()),
+        }
+    }
+}
+
+/// Applies a compare type's predicate-write rule.
+///
+/// Given the guard value `qp`, the relational result `result`, and the old
+/// values of the two target predicates, returns the new
+/// `(p_true, p_false)` pair. This pure function is the single source of
+/// truth for compare semantics, shared by the functional simulator and the
+/// if-converter's correctness tests.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_isa::{apply_cmp_type, CmpType};
+///
+/// // norm under a false guard leaves the targets alone
+/// assert_eq!(apply_cmp_type(CmpType::Norm, false, true, (true, true)), (true, true));
+/// // unc under a false guard clears both
+/// assert_eq!(apply_cmp_type(CmpType::Unc, false, true, (true, true)), (false, false));
+/// ```
+pub fn apply_cmp_type(
+    ctype: CmpType,
+    qp: bool,
+    result: bool,
+    old: (bool, bool),
+) -> (bool, bool) {
+    match ctype {
+        CmpType::Norm => {
+            if qp {
+                (result, !result)
+            } else {
+                old
+            }
+        }
+        CmpType::Unc => {
+            if qp {
+                (result, !result)
+            } else {
+                (false, false)
+            }
+        }
+        CmpType::And => {
+            if qp && !result {
+                (false, false)
+            } else {
+                old
+            }
+        }
+        CmpType::Or => {
+            if qp && result {
+                (true, true)
+            } else {
+                old
+            }
+        }
+        CmpType::OrAndcm => {
+            if qp && result {
+                (true, false)
+            } else {
+                old
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_covers_all_relations() {
+        assert!(CmpCond::Eq.eval(3, 3));
+        assert!(!CmpCond::Eq.eval(3, 4));
+        assert!(CmpCond::Ne.eval(3, 4));
+        assert!(CmpCond::Lt.eval(-5, -4));
+        assert!(CmpCond::Le.eval(4, 4));
+        assert!(CmpCond::Gt.eval(5, 4));
+        assert!(CmpCond::Ge.eval(4, 4));
+        assert!(!CmpCond::Ge.eval(3, 4));
+    }
+
+    #[test]
+    fn cond_negation_is_logical_complement() {
+        for cond in CmpCond::ALL {
+            for (a, b) in [(0i64, 0i64), (1, 2), (2, 1), (-3, 3)] {
+                assert_eq!(
+                    cond.eval(a, b),
+                    !cond.negate().eval(a, b),
+                    "{cond:?} vs its negation on ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for cond in CmpCond::ALL {
+            assert_eq!(cond.negate().negate(), cond);
+        }
+    }
+
+    #[test]
+    fn cond_parses_its_own_mnemonic() {
+        for cond in CmpCond::ALL {
+            assert_eq!(cond.mnemonic().parse::<CmpCond>(), Ok(cond));
+        }
+        assert!("zz".parse::<CmpCond>().is_err());
+    }
+
+    #[test]
+    fn ctype_parses_its_own_mnemonic() {
+        for ctype in CmpType::ALL {
+            assert_eq!(ctype.mnemonic().parse::<CmpType>(), Ok(ctype));
+        }
+        assert_eq!("norm".parse::<CmpType>(), Ok(CmpType::Norm));
+        assert!("nand".parse::<CmpType>().is_err());
+    }
+
+    #[test]
+    fn norm_writes_complementary_pair_under_true_guard() {
+        assert_eq!(
+            apply_cmp_type(CmpType::Norm, true, true, (false, false)),
+            (true, false)
+        );
+        assert_eq!(
+            apply_cmp_type(CmpType::Norm, true, false, (true, true)),
+            (false, true)
+        );
+    }
+
+    #[test]
+    fn norm_leaves_targets_under_false_guard() {
+        for old in [(false, false), (true, false), (false, true), (true, true)] {
+            assert_eq!(apply_cmp_type(CmpType::Norm, false, true, old), old);
+        }
+    }
+
+    #[test]
+    fn unc_clears_both_targets_under_false_guard() {
+        for result in [false, true] {
+            assert_eq!(
+                apply_cmp_type(CmpType::Unc, false, result, (true, true)),
+                (false, false)
+            );
+        }
+    }
+
+    #[test]
+    fn and_type_only_clears_on_false_result() {
+        assert_eq!(
+            apply_cmp_type(CmpType::And, true, false, (true, true)),
+            (false, false)
+        );
+        assert_eq!(
+            apply_cmp_type(CmpType::And, true, true, (true, false)),
+            (true, false)
+        );
+        assert_eq!(
+            apply_cmp_type(CmpType::And, false, false, (true, true)),
+            (true, true)
+        );
+    }
+
+    #[test]
+    fn or_type_only_sets_on_true_result() {
+        assert_eq!(
+            apply_cmp_type(CmpType::Or, true, true, (false, false)),
+            (true, true)
+        );
+        assert_eq!(
+            apply_cmp_type(CmpType::Or, true, false, (false, true)),
+            (false, true)
+        );
+        assert_eq!(
+            apply_cmp_type(CmpType::Or, false, true, (false, false)),
+            (false, false)
+        );
+    }
+
+    #[test]
+    fn or_andcm_sets_true_clears_false_target() {
+        assert_eq!(
+            apply_cmp_type(CmpType::OrAndcm, true, true, (false, true)),
+            (true, false)
+        );
+        assert_eq!(
+            apply_cmp_type(CmpType::OrAndcm, true, false, (true, true)),
+            (true, true)
+        );
+    }
+
+    #[test]
+    fn only_unc_writes_under_false_guard() {
+        for ctype in CmpType::ALL {
+            assert_eq!(
+                ctype.writes_when_guard_false(),
+                matches!(ctype, CmpType::Unc)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_or_accumulates_disjunction() {
+        // p = (a > 0) || (b > 0) || (c > 0), built the way if-converted
+        // code builds it: initialize false, then or-compares in any order.
+        for a in [-1i64, 1] {
+            for b in [-1i64, 1] {
+                for c in [-1i64, 1] {
+                    let mut p = (false, false);
+                    for v in [a, b, c] {
+                        p = apply_cmp_type(CmpType::Or, true, CmpCond::Gt.eval(v, 0), p);
+                    }
+                    assert_eq!(p.0, a > 0 || b > 0 || c > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_accumulates_conjunction() {
+        for a in [-1i64, 1] {
+            for b in [-1i64, 1] {
+                let mut p = (true, true);
+                for v in [a, b] {
+                    p = apply_cmp_type(CmpType::And, true, CmpCond::Gt.eval(v, 0), p);
+                }
+                assert_eq!(p.0, a > 0 && b > 0);
+            }
+        }
+    }
+}

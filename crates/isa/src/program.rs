@@ -1,0 +1,287 @@
+//! Validated instruction containers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::ProgramError;
+use crate::inst::{Inst, Op};
+
+/// Static (pre-execution) instruction-mix statistics for a [`Program`].
+///
+/// These are the numbers workload-characterization tables report per
+/// benchmark before any simulation happens.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Total instructions.
+    pub instructions: u32,
+    /// All branches (conditional and unconditional).
+    pub branches: u32,
+    /// Branches with a non-`p0` guard.
+    pub conditional_branches: u32,
+    /// Branches tagged as region-based.
+    pub region_branches: u32,
+    /// Compare-to-predicate instructions.
+    pub compares: u32,
+    /// Instructions guarded by a real (non-`p0`) predicate.
+    pub predicated: u32,
+}
+
+/// A validated sequence of instructions plus label metadata.
+///
+/// Execution starts at instruction index 0. Construction via
+/// [`Program::new`] validates that the program is non-empty, every branch
+/// target is in range, and a `halt` exists — so the simulator can index
+/// unconditionally.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_isa::{Inst, Op, Program};
+///
+/// let program = Program::new(vec![
+///     Inst::new(Op::Nop),
+///     Inst::new(Op::Halt),
+/// ])?;
+/// assert_eq!(program.len(), 2);
+/// assert!(program.inst(1).unwrap().op == Op::Halt);
+/// # Ok::<(), predbranch_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    labels: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a validated program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if the program is empty, a branch target
+    /// is out of range, or no `halt` instruction exists.
+    pub fn new(insts: Vec<Inst>) -> Result<Self, ProgramError> {
+        Self::with_labels(insts, BTreeMap::new())
+    }
+
+    /// Creates a validated program carrying label names (for diagnostics
+    /// and disassembly).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Program::new`].
+    pub fn with_labels(
+        insts: Vec<Inst>,
+        labels: BTreeMap<String, u32>,
+    ) -> Result<Self, ProgramError> {
+        if insts.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let len = insts.len() as u32;
+        let mut has_halt = false;
+        for (pc, inst) in insts.iter().enumerate() {
+            match inst.op {
+                Op::Br { target, .. } if target >= len => {
+                    return Err(ProgramError::BranchOutOfRange {
+                        pc: pc as u32,
+                        target,
+                        len,
+                    });
+                }
+                Op::Halt => has_halt = true,
+                _ => {}
+            }
+        }
+        if !has_halt {
+            return Err(ProgramError::NoHalt);
+        }
+        Ok(Program { insts, labels })
+    }
+
+    /// Number of instructions.
+    #[allow(clippy::len_without_is_empty)] // validated programs are never empty
+    pub fn len(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn inst(&self, pc: u32) -> Option<&Inst> {
+        self.insts.get(pc as usize)
+    }
+
+    /// Iterates over `(pc, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Inst)> {
+        self.insts.iter().enumerate().map(|(pc, i)| (pc as u32, i))
+    }
+
+    /// The label defined at `pc`, if any.
+    pub fn label_at(&self, pc: u32) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(_, &at)| at == pc)
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// The pc a label points to, if defined.
+    pub fn resolve_label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// The raw instruction slice.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Computes static instruction-mix statistics.
+    pub fn stats(&self) -> ProgramStats {
+        let mut s = ProgramStats {
+            instructions: self.len(),
+            ..ProgramStats::default()
+        };
+        for inst in &self.insts {
+            if inst.is_branch() {
+                s.branches += 1;
+                if inst.is_conditional_branch() {
+                    s.conditional_branches += 1;
+                }
+                if inst.is_region_branch() {
+                    s.region_branches += 1;
+                }
+            }
+            if inst.is_cmp() {
+                s.compares += 1;
+            }
+            if inst.is_predicated() {
+                s.predicated += 1;
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, inst) in self.iter() {
+            if let Some(label) = self.label_at(pc) {
+                writeln!(f, "{label}:")?;
+            }
+            writeln!(f, "    {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, Src};
+    use crate::reg::{Gpr, PredReg};
+
+    fn halt() -> Inst {
+        Inst::new(Op::Halt)
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(Program::new(vec![]), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn missing_halt_rejected() {
+        assert_eq!(
+            Program::new(vec![Inst::new(Op::Nop)]),
+            Err(ProgramError::NoHalt)
+        );
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        let err = Program::new(vec![
+            Inst::new(Op::Br { target: 5, region: None }),
+            halt(),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::BranchOutOfRange {
+                pc: 0,
+                target: 5,
+                len: 2
+            }
+        );
+    }
+
+    #[test]
+    fn branch_to_last_instruction_allowed() {
+        let p = Program::new(vec![
+            Inst::new(Op::Br { target: 1, region: None }),
+            halt(),
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn labels_resolve_both_ways() {
+        let mut labels = BTreeMap::new();
+        labels.insert("start".to_string(), 0u32);
+        labels.insert("end".to_string(), 1u32);
+        let p = Program::with_labels(vec![Inst::new(Op::Nop), halt()], labels).unwrap();
+        assert_eq!(p.resolve_label("start"), Some(0));
+        assert_eq!(p.resolve_label("missing"), None);
+        assert_eq!(p.label_at(1), Some("end"));
+        assert_eq!(p.label_at(0), Some("start"));
+    }
+
+    #[test]
+    fn stats_count_instruction_classes() {
+        let p1 = PredReg::new(1).unwrap();
+        let p = Program::new(vec![
+            Inst::new(Op::Cmp {
+                ctype: crate::CmpType::Norm,
+                cond: crate::CmpCond::Lt,
+                p_true: p1,
+                p_false: PredReg::new(2).unwrap(),
+                src1: Gpr::new(1).unwrap(),
+                src2: Src::Imm(0),
+            }),
+            Inst::guarded(
+                p1,
+                Op::Alu {
+                    op: AluOp::Add,
+                    dst: Gpr::new(2).unwrap(),
+                    src1: Gpr::new(2).unwrap(),
+                    src2: Src::Imm(1),
+                },
+            ),
+            Inst::guarded(p1, Op::Br { target: 0, region: Some(3) }),
+            Inst::new(Op::Br { target: 4, region: None }),
+            halt(),
+        ])
+        .unwrap();
+        let s = p.stats();
+        assert_eq!(s.instructions, 5);
+        assert_eq!(s.branches, 2);
+        assert_eq!(s.conditional_branches, 1);
+        assert_eq!(s.region_branches, 1);
+        assert_eq!(s.compares, 1);
+        assert_eq!(s.predicated, 2);
+    }
+
+    #[test]
+    fn iter_yields_pcs_in_order() {
+        let p = Program::new(vec![Inst::new(Op::Nop), halt()]).unwrap();
+        let pcs: Vec<u32> = p.iter().map(|(pc, _)| pc).collect();
+        assert_eq!(pcs, vec![0, 1]);
+    }
+
+    #[test]
+    fn display_includes_labels_and_insts() {
+        let mut labels = BTreeMap::new();
+        labels.insert("top".to_string(), 0u32);
+        let p = Program::with_labels(vec![Inst::new(Op::Nop), halt()], labels).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("top:"));
+        assert!(text.contains("nop"));
+        assert!(text.contains("halt"));
+    }
+}

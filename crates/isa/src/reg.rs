@@ -1,0 +1,163 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of general-purpose registers (`r0`–`r63`); `r0` reads as zero.
+pub const NUM_GPRS: usize = 64;
+
+/// Number of predicate registers (`p0`–`p63`); `p0` reads as true.
+pub const NUM_PREDS: usize = 64;
+
+/// A general-purpose register name (`r0`–`r63`).
+///
+/// `r0` is hardwired to zero: writes to it are architecturally ignored.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_isa::Gpr;
+///
+/// let r = Gpr::new(5).unwrap();
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert!(Gpr::new(64).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpr(u8);
+
+impl Gpr {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Gpr = Gpr(0);
+
+    /// Creates a register name, or `None` if `index >= 64`.
+    pub fn new(index: u8) -> Option<Self> {
+        if (index as usize) < NUM_GPRS {
+            Some(Gpr(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index in `0..64`.
+    pub fn index(&self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for Gpr {
+    fn default() -> Self {
+        Gpr::ZERO
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A predicate register name (`p0`–`p63`).
+///
+/// `p0` is hardwired to true: it is the guard of nominally unguarded
+/// instructions, and writes to it are architecturally ignored. A
+/// conditional branch guarded by `p0` is an unconditional branch.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_isa::PredReg;
+///
+/// let p = PredReg::new(3).unwrap();
+/// assert_eq!(p.to_string(), "p3");
+/// assert!(PredReg::TRUE.is_always_true());
+/// assert!(!p.is_always_true());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredReg(u8);
+
+impl PredReg {
+    /// The hardwired-true predicate `p0`.
+    pub const TRUE: PredReg = PredReg(0);
+
+    /// Creates a predicate register name, or `None` if `index >= 64`.
+    pub fn new(index: u8) -> Option<Self> {
+        if (index as usize) < NUM_PREDS {
+            Some(PredReg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index in `0..64`.
+    pub fn index(&self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-true predicate `p0`.
+    pub fn is_always_true(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for PredReg {
+    fn default() -> Self {
+        PredReg::TRUE
+    }
+}
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_bounds() {
+        assert!(Gpr::new(0).is_some());
+        assert!(Gpr::new(63).is_some());
+        assert!(Gpr::new(64).is_none());
+        assert!(Gpr::new(255).is_none());
+    }
+
+    #[test]
+    fn gpr_zero_register() {
+        assert!(Gpr::ZERO.is_zero());
+        assert!(!Gpr::new(1).unwrap().is_zero());
+        assert_eq!(Gpr::default(), Gpr::ZERO);
+    }
+
+    #[test]
+    fn pred_bounds() {
+        assert!(PredReg::new(0).is_some());
+        assert!(PredReg::new(63).is_some());
+        assert!(PredReg::new(64).is_none());
+    }
+
+    #[test]
+    fn pred_true_register() {
+        assert!(PredReg::TRUE.is_always_true());
+        assert!(!PredReg::new(7).unwrap().is_always_true());
+        assert_eq!(PredReg::default(), PredReg::TRUE);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gpr::new(42).unwrap().to_string(), "r42");
+        assert_eq!(PredReg::new(9).unwrap().to_string(), "p9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Gpr::new(3).unwrap() < Gpr::new(4).unwrap());
+        assert!(PredReg::new(10).unwrap() > PredReg::TRUE);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fuzz-style robustness tests: the assembler must reject garbage with
+//! an error (never panic), and accepted programs must be well-formed.
+
+use proptest::prelude::*;
+
+use predbranch_isa::assemble;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("mov".to_string()),
+        Just("add".to_string()),
+        Just("cmp.lt".to_string()),
+        Just("cmp.lt.unc".to_string()),
+        Just("br".to_string()),
+        Just("br.region".to_string()),
+        Just("ld".to_string()),
+        Just("st".to_string()),
+        Just("halt".to_string()),
+        Just("nop".to_string()),
+        Just("=".to_string()),
+        Just(",".to_string()),
+        Just("[".to_string()),
+        Just("]".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("+".to_string()),
+        Just(":".to_string()),
+        (0u8..70).prop_map(|i| format!("r{i}")),
+        (0u8..70).prop_map(|i| format!("p{i}")),
+        (-70000i64..70000).prop_map(|i| i.to_string()),
+        "[a-z]{1,6}",
+    ]
+}
+
+fn arb_line() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_token(), 0..8).prop_map(|tokens| tokens.join(" "))
+}
+
+proptest! {
+    /// Assembling any token soup returns Ok or Err — never panics.
+    #[test]
+    fn assembler_is_total_on_token_soup(lines in prop::collection::vec(arb_line(), 0..12)) {
+        let source = lines.join("\n");
+        let _ = assemble(&source);
+    }
+
+    /// Assembling arbitrary bytes-as-text never panics either.
+    #[test]
+    fn assembler_is_total_on_arbitrary_text(source in ".{0,200}") {
+        let _ = assemble(&source);
+    }
+
+    /// Accepted programs satisfy the `Program` invariants: in-range
+    /// branch targets and at least one halt.
+    #[test]
+    fn accepted_programs_are_valid(lines in prop::collection::vec(arb_line(), 0..12)) {
+        let source = lines.join("\n") + "\nhalt";
+        if let Ok(program) = assemble(&source) {
+            let len = program.len();
+            prop_assert!(len > 0);
+            let mut has_halt = false;
+            for (_, inst) in program.iter() {
+                if let predbranch_isa::Op::Br { target, .. } = inst.op {
+                    prop_assert!(target < len);
+                }
+                if inst.op == predbranch_isa::Op::Halt {
+                    has_halt = true;
+                }
+            }
+            prop_assert!(has_halt);
+        }
+    }
+
+    /// Error messages always render (Display is total) and carry a
+    /// plausible line number.
+    #[test]
+    fn errors_render_with_line_numbers(lines in prop::collection::vec(arb_line(), 1..12)) {
+        let source = lines.join("\n");
+        if let Err(e) = assemble(&source) {
+            let text = e.to_string();
+            prop_assert!(!text.is_empty());
+            prop_assert!(e.line as usize <= lines.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: binary encode/decode and assemble/disassemble are
+//! exact inverses over the whole instruction space.
+
+use proptest::prelude::*;
+
+use predbranch_isa::{
+    assemble, decode, encode, AluOp, CmpCond, CmpType, Gpr, Inst, Op, PredReg, Program, Src,
+};
+
+fn arb_gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..64).prop_map(|i| Gpr::new(i).unwrap())
+}
+
+fn arb_pred() -> impl Strategy<Value = PredReg> {
+    (0u8..64).prop_map(|i| PredReg::new(i).unwrap())
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_cmp_cond() -> impl Strategy<Value = CmpCond> {
+    prop::sample::select(CmpCond::ALL.to_vec())
+}
+
+fn arb_cmp_type() -> impl Strategy<Value = CmpType> {
+    prop::sample::select(CmpType::ALL.to_vec())
+}
+
+fn arb_src() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        arb_gpr().prop_map(Src::Reg),
+        any::<i32>().prop_map(Src::Imm),
+    ]
+}
+
+/// Compare immediates must fit 16 bits to be encodable.
+fn arb_cmp_src() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        arb_gpr().prop_map(Src::Reg),
+        (i16::MIN..=i16::MAX).prop_map(|i| Src::Imm(i as i32)),
+    ]
+}
+
+fn arb_op(max_target: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Nop),
+        Just(Op::Halt),
+        (0..max_target, prop::option::of(any::<u16>()))
+            .prop_map(|(target, region)| Op::Br { target, region }),
+        (arb_gpr(), arb_src()).prop_map(|(dst, src)| Op::Mov { dst, src }),
+        (arb_gpr(), arb_gpr(), any::<i32>())
+            .prop_map(|(dst, base, offset)| Op::Load { dst, base, offset }),
+        (arb_gpr(), arb_gpr(), any::<i32>())
+            .prop_map(|(src, base, offset)| Op::Store { src, base, offset }),
+        (arb_alu_op(), arb_gpr(), arb_gpr(), arb_src())
+            .prop_map(|(op, dst, src1, src2)| Op::Alu { op, dst, src1, src2 }),
+        (
+            arb_cmp_type(),
+            arb_cmp_cond(),
+            arb_pred(),
+            arb_pred(),
+            arb_gpr(),
+            arb_cmp_src()
+        )
+            .prop_map(|(ctype, cond, p_true, p_false, src1, src2)| Op::Cmp {
+                ctype,
+                cond,
+                p_true,
+                p_false,
+                src1,
+                src2,
+            }),
+    ]
+}
+
+fn arb_inst(max_target: u32) -> impl Strategy<Value = Inst> {
+    (arb_pred(), arb_op(max_target)).prop_map(|(guard, op)| Inst { guard, op })
+}
+
+/// A random valid program: arbitrary instructions with in-range branch
+/// targets, terminated by `halt`.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (1usize..40)
+        .prop_flat_map(|len| {
+            let max_target = len as u32 + 1;
+            prop::collection::vec(arb_inst(max_target), len)
+        })
+        .prop_map(|mut insts| {
+            insts.push(Inst::new(Op::Halt));
+            Program::new(insts).expect("constructed program is valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst(u32::MAX)) {
+        let word = encode(&inst).expect("generator only builds encodable instructions");
+        let back = decode(word).expect("encoded words decode");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u64>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_words_reencode_to_same_instruction(word in any::<u64>()) {
+        if let Ok(inst) = decode(word) {
+            // Decoding may discard junk bits; the canonical re-encoding
+            // must decode to the same instruction (idempotence).
+            let canon = encode(&inst).expect("decoded instructions are encodable");
+            prop_assert_eq!(decode(canon).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn disassemble_reassemble_roundtrip(program in arb_program()) {
+        let text = program.to_string();
+        let back = assemble(&text).expect("disassembly reassembles");
+        prop_assert_eq!(back.insts(), program.insts());
+    }
+
+    #[test]
+    fn stats_are_consistent(program in arb_program()) {
+        let s = program.stats();
+        prop_assert_eq!(s.instructions, program.len());
+        prop_assert!(s.conditional_branches <= s.branches);
+        prop_assert!(s.region_branches <= s.branches);
+        prop_assert!(s.branches <= s.instructions);
+        prop_assert!(s.predicated <= s.instructions);
+    }
+}

@@ -1,0 +1,277 @@
+//! Differential testing: for random structured programs, the if-converted
+//! (predicated) binary must compute exactly the same architectural result
+//! as the plain branchy lowering. This is the end-to-end correctness
+//! argument for the whole compiler + executor substrate.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use predbranch_compiler::{
+    hoist_compares, if_convert, lower, profile_cfg, Cfg, CfgBuilder, Cond, IfConvertConfig,
+    ProfileConfig,
+};
+use predbranch_isa::{AluOp, CmpCond, Gpr, Src};
+use predbranch_sim::{Executor, Memory, NullSink};
+
+const MAX_INSTS: u64 = 2_000_000;
+
+/// A generated straight-line operation over registers r1..r10.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Alu(AluOp, u8, u8, i32),
+    AluReg(AluOp, u8, u8, u8),
+    Mov(u8, i32),
+    Load(u8, u8, i32),
+    Store(u8, u8, i32),
+}
+
+/// A generated structured statement.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Op(GenOp),
+    IfThenElse(GenCond, Vec<Stmt>, Vec<Stmt>),
+    IfThen(GenCond, Vec<Stmt>),
+    ForLoop(u8, Vec<Stmt>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GenCond {
+    cond: CmpCond,
+    src1: u8,
+    imm: i32,
+}
+
+fn r(i: u8) -> Gpr {
+    Gpr::new(i).unwrap()
+}
+
+fn arb_data_reg() -> impl Strategy<Value = u8> {
+    1u8..10
+}
+
+fn arb_op() -> impl Strategy<Value = GenOp> {
+    let alu = prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+    ]);
+    prop_oneof![
+        (alu.clone(), arb_data_reg(), arb_data_reg(), -10i32..10)
+            .prop_map(|(op, d, s, imm)| GenOp::Alu(op, d, s, imm)),
+        (alu, arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(op, d, s1, s2)| GenOp::AluReg(op, d, s1, s2)),
+        (arb_data_reg(), -100i32..100).prop_map(|(d, imm)| GenOp::Mov(d, imm)),
+        (arb_data_reg(), arb_data_reg(), 0i32..32).prop_map(|(d, b, o)| GenOp::Load(d, b, o)),
+        (arb_data_reg(), arb_data_reg(), 0i32..32).prop_map(|(s, b, o)| GenOp::Store(s, b, o)),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = GenCond> {
+    (
+        prop::sample::select(CmpCond::ALL.to_vec()),
+        arb_data_reg(),
+        -8i32..8,
+    )
+        .prop_map(|(cond, src1, imm)| GenCond { cond, src1, imm })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = arb_op().prop_map(Stmt::Op);
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            arb_op().prop_map(Stmt::Op),
+            (
+                arb_cond(),
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(c, t, e)| Stmt::IfThenElse(c, t, e)),
+            (arb_cond(), prop::collection::vec(inner.clone(), 0..4))
+                .prop_map(|(c, t)| Stmt::IfThen(c, t)),
+            (1u8..5, prop::collection::vec(inner, 0..4))
+                .prop_map(|(n, body)| Stmt::ForLoop(n, body)),
+        ]
+    })
+}
+
+fn emit(b: &mut CfgBuilder, stmt: &Stmt, depth: u8) {
+    match stmt {
+        Stmt::Op(op) => match *op {
+            GenOp::Alu(op, d, s, imm) => b.alu(op, r(d), r(s), Src::Imm(imm)),
+            GenOp::AluReg(op, d, s1, s2) => b.alu(op, r(d), r(s1), Src::Reg(r(s2))),
+            GenOp::Mov(d, imm) => b.mov(r(d), imm),
+            GenOp::Load(d, base, off) => b.load(r(d), r(base), off),
+            GenOp::Store(s, base, off) => b.store(r(s), r(base), off),
+        },
+        Stmt::IfThenElse(c, t, e) => {
+            b.if_then_else(
+                Cond::new(c.cond, r(c.src1), c.imm),
+                |b| {
+                    for s in t {
+                        emit(b, s, depth);
+                    }
+                },
+                |b| {
+                    for s in e {
+                        emit(b, s, depth);
+                    }
+                },
+            );
+        }
+        Stmt::IfThen(c, t) => {
+            b.if_then(Cond::new(c.cond, r(c.src1), c.imm), |b| {
+                for s in t {
+                    emit(b, s, depth);
+                }
+            });
+        }
+        Stmt::ForLoop(n, body) => {
+            // dedicated counter register per nesting depth, untouched by
+            // the r1..r10 data ops
+            let counter = r(30 + depth);
+            b.for_range(counter, 0, *n as i32, |b| {
+                for s in body {
+                    emit(b, s, depth + 1);
+                }
+            });
+        }
+    }
+}
+
+fn build_cfg(stmts: &[Stmt]) -> Cfg {
+    let mut b = CfgBuilder::new();
+    // seed data registers from memory so behaviour is data-dependent
+    for i in 1..10u8 {
+        b.load(r(i), Gpr::ZERO, i as i32);
+    }
+    for s in stmts {
+        emit(&mut b, s, 0);
+    }
+    b.halt();
+    b.finish().expect("generated programs are well-formed")
+}
+
+fn arb_memory() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-50i64..50, 32)
+}
+
+fn run_program(
+    program: &predbranch_isa::Program,
+    init: &[i64],
+) -> (Vec<i64>, Vec<(i64, i64)>, bool) {
+    let memory = Memory::from_slice(0, init);
+    let mut exec = Executor::new(program, memory);
+    let summary = exec.run(&mut NullSink, MAX_INSTS);
+    let regs = exec.state().regs().to_vec();
+    let mut mem: Vec<(i64, i64)> = exec.memory().iter().collect();
+    mem.sort_unstable();
+    (regs, mem, summary.halted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: plain lowering and if-conversion agree on
+    /// final registers and memory for every generated program.
+    #[test]
+    fn ifconvert_preserves_semantics(
+        stmts in prop::collection::vec(arb_stmt(), 1..8),
+        init in arb_memory(),
+        aggressive in any::<bool>(),
+    ) {
+        let cfg = build_cfg(&stmts);
+        let plain = lower(&cfg).expect("lowering succeeds");
+
+        // profile on the same input the run uses (self-training keeps the
+        // convert/keep decisions deterministic and input-correlated)
+        let mut train: HashMap<i64, i64> =
+            init.iter().enumerate().map(|(a, &v)| (a as i64, v)).collect();
+        let profile = profile_cfg(&cfg, &mut train, &ProfileConfig::default());
+
+        let config = if aggressive {
+            IfConvertConfig { convert_bias_below: 1.01, ..IfConvertConfig::default() }
+        } else {
+            IfConvertConfig::default()
+        };
+        let converted = if_convert(&cfg, Some(&profile), &config).expect("if-conversion succeeds");
+
+        let (regs_a, mem_a, halted_a) = run_program(&plain, &init);
+        let (regs_b, mem_b, halted_b) = run_program(&converted.program, &init);
+
+        prop_assert!(halted_a, "plain program must halt");
+        prop_assert!(halted_b, "converted program must halt");
+        prop_assert_eq!(&regs_a[..30], &regs_b[..30], "data registers must match");
+        prop_assert_eq!(mem_a, mem_b, "memory must match");
+    }
+
+    /// Without profile data the converter uses its unknown-bias default;
+    /// semantics must still be preserved.
+    #[test]
+    fn ifconvert_without_profile_preserves_semantics(
+        stmts in prop::collection::vec(arb_stmt(), 1..6),
+        init in arb_memory(),
+    ) {
+        let cfg = build_cfg(&stmts);
+        let plain = lower(&cfg).expect("lowering succeeds");
+        let converted =
+            if_convert(&cfg, None, &IfConvertConfig::default()).expect("if-conversion succeeds");
+
+        let (regs_a, mem_a, halted_a) = run_program(&plain, &init);
+        let (regs_b, mem_b, halted_b) = run_program(&converted.program, &init);
+        prop_assert!(halted_a && halted_b);
+        prop_assert_eq!(&regs_a[..30], &regs_b[..30]);
+        prop_assert_eq!(mem_a, mem_b);
+    }
+
+    /// Compare hoisting is semantics-preserving on both the plain and the
+    /// predicated binaries of random structured programs.
+    #[test]
+    fn hoisting_preserves_semantics(
+        stmts in prop::collection::vec(arb_stmt(), 1..8),
+        init in arb_memory(),
+    ) {
+        let cfg = build_cfg(&stmts);
+        let plain = lower(&cfg).expect("lowering succeeds");
+        let converted =
+            if_convert(&cfg, None, &IfConvertConfig::default()).expect("if-conversion succeeds");
+        for program in [&plain, &converted.program] {
+            let hoisted = hoist_compares(program);
+            prop_assert_eq!(hoisted.program.len(), program.len());
+            let (regs_a, mem_a, halted_a) = run_program(program, &init);
+            let (regs_b, mem_b, halted_b) = run_program(&hoisted.program, &init);
+            prop_assert_eq!(halted_a, halted_b);
+            prop_assert_eq!(&regs_a[..], &regs_b[..]);
+            prop_assert_eq!(mem_a, mem_b);
+        }
+    }
+
+    /// Structural accounting: every accepted region removed at least one
+    /// branch, and the emitted region-branch instructions agree exactly
+    /// with the converter's own bookkeeping.
+    #[test]
+    fn ifconvert_bookkeeping_matches_emitted_code(
+        stmts in prop::collection::vec(arb_stmt(), 1..8),
+    ) {
+        let cfg = build_cfg(&stmts);
+        let converted =
+            if_convert(&cfg, None, &IfConvertConfig::default()).expect("if-conversion succeeds");
+        for region in &converted.regions {
+            prop_assert!(region.converted_branches >= 1);
+        }
+        let s = converted.program.stats();
+        prop_assert_eq!(s.region_branches, converted.stats.branches_kept);
+        let per_region: u32 = converted.regions.iter().map(|r| r.kept_branches).sum();
+        prop_assert_eq!(per_region, converted.stats.branches_kept);
+        let converted_total: u32 =
+            converted.regions.iter().map(|r| r.converted_branches).sum();
+        prop_assert_eq!(converted_total, converted.stats.branches_converted);
+    }
+}

@@ -1,0 +1,375 @@
+//! Bucketed histograms for distance and size distributions.
+
+use std::fmt;
+
+/// A histogram over `u64` samples.
+///
+/// Two bucketing schemes are provided:
+///
+/// * [`Histogram::linear`] — fixed-width buckets, e.g. predicate-definition
+///   to branch distances in instructions;
+/// * [`Histogram::log2`] — power-of-two buckets, e.g. region sizes.
+///
+/// Samples past the last bucket accumulate in an overflow bucket so the
+/// total count is always exact.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_stats::Histogram;
+///
+/// let mut h = Histogram::linear(4, 10); // buckets [0,10) [10,20) [20,30) [30,40) + overflow
+/// for d in [3, 12, 14, 35, 99] {
+///     h.record(d);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bucket_count(1), 2);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    scheme: Scheme,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scheme {
+    Linear { width: u64 },
+    Log2,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` fixed-width buckets of `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or `width` is zero.
+    pub fn linear(buckets: usize, width: u64) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(width > 0, "bucket width must be positive");
+        Histogram {
+            scheme: Scheme::Linear { width },
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Creates a histogram with `buckets` power-of-two buckets:
+    /// `[0,1), [1,2), [2,4), [4,8), ...`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn log2(buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            scheme: Scheme::Log2,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(&self, sample: u64) -> Option<usize> {
+        let idx = match self.scheme {
+            Scheme::Linear { width } => (sample / width) as usize,
+            Scheme::Log2 => {
+                if sample == 0 {
+                    0
+                } else {
+                    (64 - sample.leading_zeros()) as usize
+                }
+            }
+        };
+        if idx < self.buckets.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        match self.bucket_index(sample) {
+            Some(idx) => self.buckets[idx] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += u128::from(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Total number of recorded samples (including overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples in bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Number of buckets (excluding the overflow bucket).
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Samples that fell past the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all recorded samples, or `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample, or `0` if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The inclusive-exclusive `[lo, hi)` range of bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket_range(&self, idx: usize) -> (u64, u64) {
+        assert!(idx < self.buckets.len(), "bucket index out of range");
+        match self.scheme {
+            Scheme::Linear { width } => (idx as u64 * width, (idx as u64 + 1) * width),
+            Scheme::Log2 => {
+                if idx == 0 {
+                    (0, 1)
+                } else {
+                    (1 << (idx - 1), 1 << idx)
+                }
+            }
+        }
+    }
+
+    /// The fraction of samples at or below the upper edge of bucket `idx`
+    /// (treating overflow as above every bucket).
+    pub fn cumulative_fraction(&self, idx: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.buckets.iter().take(idx + 1).sum();
+        below as f64 / self.count as f64
+    }
+
+    /// The (exclusive) upper edge of the first bucket whose cumulative
+    /// fraction reaches `p` (`0.0..=1.0`) — an upper bound on the
+    /// p-quantile at bucket resolution. Returns `None` if the histogram
+    /// is empty or the quantile falls in the overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=1.0`.
+    pub fn percentile_upper_bound(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in 0..=1");
+        if self.count == 0 {
+            return None;
+        }
+        for idx in 0..self.buckets.len() {
+            if self.cumulative_fraction(idx) >= p {
+                return Some(self.bucket_range(idx).1);
+            }
+        }
+        None
+    }
+
+    /// Merges another histogram with the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucketing schemes differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.scheme, other.scheme,
+            "cannot merge histograms with different schemes"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "cannot merge histograms with different bucket counts"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for idx in 0..self.buckets.len() {
+            let (lo, hi) = self.bucket_range(idx);
+            let n = self.buckets[idx];
+            let frac = if self.count == 0 {
+                0.0
+            } else {
+                n as f64 / self.count as f64 * 100.0
+            };
+            writeln!(f, "[{lo:>6},{hi:>6})  {n:>10}  {frac:6.2}%")?;
+        }
+        if self.overflow > 0 {
+            writeln!(f, "[overflow)     {:>10}", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_place_samples() {
+        let mut h = Histogram::linear(3, 5);
+        h.record(0);
+        h.record(4);
+        h.record(5);
+        h.record(14);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn linear_overflow_catches_large_samples() {
+        let mut h = Histogram::linear(2, 10);
+        h.record(20);
+        h.record(1_000_000);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn log2_bucket_ranges() {
+        let h = Histogram::log2(5);
+        assert_eq!(h.bucket_range(0), (0, 1));
+        assert_eq!(h.bucket_range(1), (1, 2));
+        assert_eq!(h.bucket_range(2), (2, 4));
+        assert_eq!(h.bucket_range(4), (8, 16));
+    }
+
+    #[test]
+    fn log2_buckets_place_samples() {
+        let mut h = Histogram::log2(4);
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(3); // bucket 2
+        h.record(7); // bucket 3
+        h.record(8); // overflow
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn mean_and_max_track_samples() {
+        let mut h = Histogram::linear(4, 100);
+        for s in [10, 20, 30] {
+            h.record(s);
+        }
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.max(), 30);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::log2(3);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.cumulative_fraction(2), 0.0);
+    }
+
+    #[test]
+    fn cumulative_fraction_counts_buckets_up_to_index() {
+        let mut h = Histogram::linear(4, 1);
+        for s in [0, 1, 2, 3] {
+            h.record(s);
+        }
+        assert_eq!(h.cumulative_fraction(0), 0.25);
+        assert_eq!(h.cumulative_fraction(3), 1.0);
+    }
+
+    #[test]
+    fn percentile_upper_bound_brackets_quantiles() {
+        let mut h = Histogram::linear(10, 10);
+        for s in 0..100u64 {
+            h.record(s);
+        }
+        assert_eq!(h.percentile_upper_bound(0.5), Some(50));
+        assert_eq!(h.percentile_upper_bound(0.05), Some(10));
+        assert_eq!(h.percentile_upper_bound(1.0), Some(100));
+        assert_eq!(Histogram::linear(2, 1).percentile_upper_bound(0.5), None);
+        let mut over = Histogram::linear(1, 1);
+        over.record(100);
+        assert_eq!(over.percentile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_range_checked() {
+        let _ = Histogram::linear(2, 1).percentile_upper_bound(1.5);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::linear(2, 10);
+        let mut b = Histogram::linear(2, 10);
+        a.record(1);
+        b.record(1);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_count(0), 2);
+        assert_eq!(a.bucket_count(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different schemes")]
+    fn merge_rejects_mismatched_schemes() {
+        let mut a = Histogram::linear(2, 10);
+        let b = Histogram::log2(2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _ = Histogram::log2(0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut h = Histogram::linear(1, 1);
+        h.record(0);
+        assert!(!h.to_string().is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// Column alignment in a rendered [`Table`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Align {
+    /// Left-aligned (labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// One table cell: a pre-formatted string.
+///
+/// Cells are kept as strings so callers control numeric formatting; the
+/// convenience constructors cover the formats the experiment tables use.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cell(String);
+
+impl Cell {
+    /// Creates a cell from any displayable value.
+    pub fn new(value: impl fmt::Display) -> Self {
+        Cell(value.to_string())
+    }
+
+    /// A float rendered with `digits` decimal places.
+    pub fn float(value: f64, digits: usize) -> Self {
+        Cell(format!("{value:.digits$}"))
+    }
+
+    /// A percentage rendered with two decimal places and a `%` suffix.
+    pub fn percent(value: f64) -> Self {
+        Cell(format!("{value:.2}%"))
+    }
+
+    /// An integer with thousands separators (`1_234_567` → `1,234,567`).
+    pub fn count(value: u64) -> Self {
+        let digits = value.to_string();
+        let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+        for (i, ch) in digits.chars().enumerate() {
+            if i > 0 && (digits.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(ch);
+        }
+        Cell(out)
+    }
+
+    /// The cell's text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<String> for Cell {
+    fn from(value: String) -> Self {
+        Cell(value)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(value: &str) -> Self {
+        Cell(value.to_string())
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A simple text table: a title, a header row, and data rows.
+///
+/// Renders with column widths fitted to content, matching the row/column
+/// layout the paper's tables use so EXPERIMENTS.md can quote output
+/// verbatim.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_stats::{Cell, Table};
+///
+/// let mut t = Table::new("T0: demo", &["bench", "misp%"]);
+/// t.row(vec![Cell::new("gzip-like"), Cell::percent(4.2)]);
+/// let text = t.to_string();
+/// assert!(text.contains("gzip-like"));
+/// assert!(text.contains("4.20%"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    ///
+    /// The first column defaults to left alignment, the rest to right;
+    /// override with [`Table::with_aligns`].
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        let aligns = header
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-column alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligns.len()` does not match the number of columns.
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(
+            aligns.len(),
+            self.header.len(),
+            "alignment count must match column count"
+        );
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of columns.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row length must match column count"
+        );
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.header.len()
+    }
+
+    /// The cell at (`row`, `col`), if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&Cell> {
+        self.rows.get(row).and_then(|r| r.get(col))
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.as_str().len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_cell = |text: &str, width: usize, align: Align| match align {
+            Align::Left => format!("{text:<width$}"),
+            Align::Right => format!("{text:>width$}"),
+        };
+        let header: Vec<String> = self
+            .header
+            .iter()
+            .zip(&widths)
+            .zip(&self.aligns)
+            .map(|((h, &w), &a)| fmt_cell(h, w, a))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(rule_len))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .zip(&self.aligns)
+                .map(|((c, &w), &a)| fmt_cell(c.as_str(), w, a))
+                .collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T9: sample", &["bench", "rate"]);
+        t.row(vec![Cell::new("a"), Cell::percent(1.0)]);
+        t.row(vec![Cell::new("bb"), Cell::percent(22.5)]);
+        t
+    }
+
+    #[test]
+    fn cell_float_formats_digits() {
+        assert_eq!(Cell::float(1.23456, 2).as_str(), "1.23");
+        assert_eq!(Cell::float(1.0, 0).as_str(), "1");
+    }
+
+    #[test]
+    fn cell_percent_has_suffix() {
+        assert_eq!(Cell::percent(12.345).as_str(), "12.35%");
+    }
+
+    #[test]
+    fn cell_count_inserts_separators() {
+        assert_eq!(Cell::count(0).as_str(), "0");
+        assert_eq!(Cell::count(999).as_str(), "999");
+        assert_eq!(Cell::count(1_000).as_str(), "1,000");
+        assert_eq!(Cell::count(1_234_567).as_str(), "1,234,567");
+    }
+
+    #[test]
+    fn table_tracks_shape() {
+        let t = sample();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(t.cell(1, 0).unwrap().as_str(), "bb");
+        assert!(t.cell(5, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec![Cell::new("only one")]);
+    }
+
+    #[test]
+    fn render_contains_title_header_and_rows() {
+        let text = sample().to_string();
+        assert!(text.contains("T9: sample"));
+        assert!(text.contains("bench"));
+        assert!(text.contains("22.50%"));
+    }
+
+    #[test]
+    fn render_right_aligns_numbers() {
+        let text = sample().to_string();
+        // "rate" column width is 6 ("22.50%"), so "1.00%" is padded to width 6.
+        assert!(text.contains(" 1.00%"), "got:\n{text}");
+    }
+
+    #[test]
+    fn with_aligns_overrides() {
+        let t = Table::new("t", &["a", "b"]).with_aligns(&[Align::Right, Align::Left]);
+        assert_eq!(t.column_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment count")]
+    fn with_aligns_checks_length() {
+        let _ = Table::new("t", &["a", "b"]).with_aligns(&[Align::Left]);
+    }
+}

@@ -1,0 +1,89 @@
+//! `bzip2` analog: a comparison-driven shuffle pass — branch outcomes
+//! depend on data the pass itself rewrites, so behaviour drifts as the
+//! array gets more ordered.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond, Src};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{uniform, InputRng};
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const N: i32 = 1400;
+const PASSES: i32 = 2;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "bzip2",
+        description: "bubble-style compare/swap passes: ~50% swap branches that \
+                      drift as the data orders, plus a rare equal-keys branch",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (p, i, a, bb, rank, base) = (r(27), r(28), r(1), r(2), r(3), r(10));
+    let (swaps, lows, equals) = (r(20), r(21), r(23));
+    let mut b = CfgBuilder::new();
+    b.for_range(p, 0, PASSES, |b| {
+        b.for_range(i, 0, (N - 2) / 2, |b| {
+            // odd-even transposition pairs: (2i+p, 2i+p+1), so each
+            // comparison is between fresh elements (no running maximum)
+            b.alu(AluOp::Shl, base, i, 1);
+            b.alu(AluOp::Add, base, base, Src::Reg(p));
+            b.load(a, base, INPUT_BASE);
+            b.load(bb, base, INPUT_BASE + 1);
+            // out of order? swap (~50% on pass 0, lower later)
+            b.if_then_else(
+                Cond::new(CmpCond::Gt, a, Src::Reg(bb)),
+                |b| {
+                    b.store(bb, base, INPUT_BASE);
+                    b.store(a, base, INPUT_BASE + 1);
+                    b.addi(swaps, swaps, 1);
+                },
+                |b| {
+                    // rank band of the in-order key (~50%)
+                    b.alu(AluOp::And, rank, a, 32);
+                    b.if_then(Cond::new(CmpCond::Ne, rank, 0), |b| {
+                        b.addi(lows, lows, 1);
+                    });
+                },
+            );
+            // equal keys: ~1/64 under a 6-bit alphabet (region branch)
+            b.if_then(Cond::new(CmpCond::Eq, a, Src::Reg(bb)), |b| {
+                b.addi(equals, equals, 1);
+            });
+        });
+    });
+    b.store(swaps, r(0), OUT_BASE);
+    b.store(lows, r(0), OUT_BASE + 1);
+    b.store(equals, r(0), OUT_BASE + 2);
+    b.halt();
+    b.finish().expect("bzip2 analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("bzip2", seed);
+    let data = uniform(&mut rng, N as usize, 0, 64);
+    Memory::from_slice(INPUT_BASE as i64, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn swaps_move_data_toward_order() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(12));
+        assert!(exec.run(&mut NullSink, 2_000_000).halted);
+        let swaps = exec.memory().load(i64::from(OUT_BASE));
+        assert!(swaps > i64::from(N) / 4, "swaps = {swaps}");
+        let equals = exec.memory().load(i64::from(OUT_BASE) + 2);
+        assert!(equals > 0, "64-symbol alphabet must produce equal pairs");
+    }
+}

@@ -1,0 +1,88 @@
+//! `crafty` analog: game-tree search texture — perfectly alternating
+//! min/max levels (trivial for history predictors, removed by
+//! if-conversion) plus score-dependent cutoffs.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{uniform, InputRng};
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const N: i32 = 3000;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "crafty",
+        description: "alternating min/max levels plus score-band diamonds and a \
+                      rare parity-correlated beta cutoff",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, v, parity, w) = (r(28), r(1), r(2), r(3));
+    let (score, bands, cutoffs) = (r(20), r(21), r(23));
+    let mut b = CfgBuilder::new();
+    b.for_range(i, 0, N, |b| {
+        b.load(v, i, INPUT_BASE);
+        b.alu(AluOp::And, parity, i, 1);
+        // min/max level: alternates every iteration — a branch gshare
+        // predicts perfectly before if-conversion and loses afterwards.
+        // The beta cutoff only exists on max (odd) levels: nesting it in
+        // the odd arm puts it on a squashable false path half the time.
+        b.if_then_else(
+            Cond::new(CmpCond::Eq, parity, 0),
+            |b| b.alu(AluOp::Add, score, score, v),
+            |b| {
+                b.alu(AluOp::Sub, score, score, v);
+                b.alu(AluOp::Mul, w, v, 3);
+                b.alu(AluOp::Xor, w, w, score);
+                b.alu(AluOp::Shr, w, w, 1);
+                b.alu(AluOp::And, w, w, 255);
+                b.alu(AluOp::Add, w, w, v);
+                b.alu(AluOp::Xor, w, w, 42);
+                // beta cutoff: extreme evaluation (~8% of max levels)
+                b.if_then(Cond::new(CmpCond::Gt, v, 235), |b| {
+                    b.addi(cutoffs, cutoffs, 1);
+                });
+            },
+        );
+        // score band: ~41% taken, pure data
+        b.if_then_else(
+            Cond::new(CmpCond::Gt, v, 150),
+            |b| b.addi(bands, bands, 1),
+            |b| b.addi(bands, bands, 2),
+        );
+    });
+    b.store(score, r(0), OUT_BASE);
+    b.store(bands, r(0), OUT_BASE + 1);
+    b.store(cutoffs, r(0), OUT_BASE + 2);
+    b.halt();
+    b.finish().expect("crafty analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("crafty", seed);
+    let data = uniform(&mut rng, N as usize, 0, 256);
+    Memory::from_slice(INPUT_BASE as i64, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn cutoffs_only_on_odd_levels() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(2));
+        assert!(exec.run(&mut NullSink, 1_000_000).halted);
+        let cutoffs = exec.memory().load(i64::from(OUT_BASE) + 2) as f64;
+        // ~half the iterations are odd, ~8% of those exceed 235
+        assert!((0.005..0.12).contains(&(cutoffs / f64::from(N))), "{cutoffs}");
+    }
+}

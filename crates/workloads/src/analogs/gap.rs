@@ -1,0 +1,89 @@
+//! `gap` analog: modular arithmetic over random integers — the cleanest
+//! showcase of the predicate-correlation the PGU predictor recovers: the
+//! rare `v % 15 == 0` branch is *exactly* the AND of the `v % 3 == 0` and
+//! `v % 5 == 0` predicates computed (and if-converted) just before it.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{uniform, InputRng};
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const N: i32 = 3000;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "gap",
+        description: "modular arithmetic: a v%15 branch exactly determined by \
+                      the v%3 and v%5 predicates if-converted before it",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, v, m3, m5, m15) = (r(28), r(1), r(2), r(3), r(4));
+    let (threes, fives, fifteens, acc) = (r(20), r(21), r(23), r(22));
+    let mut b = CfgBuilder::new();
+    b.for_range(i, 0, N, |b| {
+        b.load(v, i, INPUT_BASE);
+        b.alu(AluOp::Rem, m3, v, 3);
+        // divisible by 3: ~33%
+        b.if_then_else(
+            Cond::new(CmpCond::Eq, m3, 0),
+            |b| b.addi(threes, threes, 1),
+            |b| b.alu(AluOp::Add, acc, acc, v),
+        );
+        b.alu(AluOp::Rem, m5, v, 5);
+        // divisible by 5: ~20%
+        b.if_then_else(
+            Cond::new(CmpCond::Eq, m5, 0),
+            |b| b.addi(fives, fives, 1),
+            |b| b.alu(AluOp::Xor, acc, acc, v),
+        );
+        // padding arithmetic (keeps the predicate-to-branch distance real)
+        b.alu(AluOp::Mul, r(5), acc, 5);
+        b.alu(AluOp::Shr, r(5), r(5), 2);
+        // divisible by 15: ~6.7%, logically m3==0 && m5==0 — after
+        // if-conversion only PGU's predicate history can see that
+        b.alu(AluOp::Rem, m15, v, 15);
+        b.if_then(Cond::new(CmpCond::Eq, m15, 0), |b| {
+            b.addi(fifteens, fifteens, 1);
+        });
+    });
+    b.store(threes, r(0), OUT_BASE);
+    b.store(fives, r(0), OUT_BASE + 1);
+    b.store(fifteens, r(0), OUT_BASE + 2);
+    b.store(acc, r(0), OUT_BASE + 3);
+    b.halt();
+    b.finish().expect("gap analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("gap", seed);
+    let data = uniform(&mut rng, N as usize, 0, 30_000);
+    Memory::from_slice(INPUT_BASE as i64, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn divisibility_counts_are_consistent() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(8));
+        assert!(exec.run(&mut NullSink, 1_000_000).halted);
+        let threes = exec.memory().load(i64::from(OUT_BASE));
+        let fives = exec.memory().load(i64::from(OUT_BASE) + 1);
+        let fifteens = exec.memory().load(i64::from(OUT_BASE) + 2);
+        assert!(fifteens <= threes && fifteens <= fives);
+        let n = f64::from(N);
+        assert!((threes as f64 / n - 1.0 / 3.0).abs() < 0.05);
+        assert!((fifteens as f64 / n - 1.0 / 15.0).abs() < 0.03);
+    }
+}

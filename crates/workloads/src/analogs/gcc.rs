@@ -1,0 +1,95 @@
+//! `gcc` analog: opcode dispatch over a bigram-correlated (Markov)
+//! instruction stream — class-splitting diamonds that if-conversion
+//! removes, plus a rare "unknown opcode" branch whose outcome is pinned
+//! down by the class predicates.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{markov_stream, InputRng};
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const N: i32 = 2500;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "gcc",
+        description: "Markov opcode dispatch: convertible class splits plus a \
+                      rare default case determined by the class predicates",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, op, hi, mid) = (r(28), r(1), r(2), r(3));
+    let (alu_ops, mem_ops, ctl_ops, misc_ops, errors) = (r(20), r(21), r(22), r(24), r(23));
+    let mut b = CfgBuilder::new();
+    b.for_range(i, 0, N, |b| {
+        b.load(op, i, INPUT_BASE);
+        b.alu(AluOp::And, hi, op, 4);
+        b.alu(AluOp::And, mid, op, 2);
+        // two-level class dispatch, each level near 50% (Markov-correlated)
+        b.if_then_else(
+            Cond::new(CmpCond::Ne, hi, 0),
+            |b| {
+                b.if_then_else(
+                    Cond::new(CmpCond::Ne, mid, 0),
+                    |b| b.addi(alu_ops, alu_ops, 1),
+                    |b| b.addi(mem_ops, mem_ops, 1),
+                );
+            },
+            |b| {
+                b.if_then_else(
+                    Cond::new(CmpCond::Ne, mid, 0),
+                    |b| b.addi(ctl_ops, ctl_ops, 1),
+                    |b| b.addi(misc_ops, misc_ops, 1),
+                );
+            },
+        );
+        // simulated semantic work
+        b.alu(AluOp::Mul, r(5), op, 7);
+        b.alu(AluOp::Xor, r(6), r(6), r(5));
+        // opcode 7 = "unknown": ~1/8 of the stream, fully determined by
+        // the class predicates above plus the odd bit
+        b.if_then(Cond::new(CmpCond::Eq, op, 7), |b| {
+            b.addi(errors, errors, 1);
+        });
+    });
+    b.store(alu_ops, r(0), OUT_BASE);
+    b.store(mem_ops, r(0), OUT_BASE + 1);
+    b.store(ctl_ops, r(0), OUT_BASE + 2);
+    b.store(misc_ops, r(0), OUT_BASE + 3);
+    b.store(errors, r(0), OUT_BASE + 4);
+    b.halt();
+    b.finish().expect("gcc analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("gcc", seed);
+    let data = markov_stream(&mut rng, N as usize, 8, 0.75);
+    Memory::from_slice(INPUT_BASE as i64, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn dispatch_covers_every_class() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(5));
+        assert!(exec.run(&mut NullSink, 1_000_000).halted);
+        let mut total = 0;
+        for k in 0..4 {
+            let count = exec.memory().load(i64::from(OUT_BASE) + k);
+            assert!(count > 0, "class {k} never dispatched");
+            total += count;
+        }
+        assert_eq!(total, i64::from(N));
+    }
+}

@@ -1,0 +1,102 @@
+//! `gzip` analog: compression-style processing of run-structured data.
+//!
+//! The hot loop classifies each byte (match/literal — run-correlated, so
+//! conventional history predictors do well *before* if-conversion),
+//! updates per-class accumulators through two convertible diamonds, and
+//! occasionally fires a "flush" branch whose outcome is exactly the AND
+//! of the two diamond predicates — the correlation the predicate
+//! global-update predictor is designed to recover once the diamonds are
+//! predicated away.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{run_structured, InputRng};
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const N: i32 = 3000;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "gzip",
+        description: "run-structured byte classification with a flush branch \
+                      determined by two earlier predicates",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, v, t, u) = (r(28), r(1), r(2), r(3));
+    let (acc, classes, flushes) = (r(20), r(21), r(23));
+    let pad = r(22);
+    let mut b = CfgBuilder::new();
+    b.for_range(i, 0, N, |b| {
+        b.load(v, i, INPUT_BASE);
+        b.alu(AluOp::And, t, v, 3);
+        // match vs literal: which regime the current run is in (~50%,
+        // strongly run-correlated). The flush branch is nested inside the
+        // match arm: when the arm's predicate resolves false, the flush
+        // branch is on a squashed false path.
+        b.if_then_else(
+            Cond::new(CmpCond::Ge, v, 128),
+            |b| {
+                b.alu(AluOp::Add, acc, acc, v);
+                b.alu(AluOp::Mul, pad, acc, 3);
+                b.alu(AluOp::Xor, pad, pad, v);
+                b.alu(AluOp::Shr, pad, pad, 1);
+                b.alu(AluOp::Add, pad, pad, v);
+                b.alu(AluOp::Xor, pad, pad, acc);
+                b.alu(AluOp::And, pad, pad, 1023);
+                b.alu(AluOp::And, u, v, 7);
+                // flush: match byte with low bits 111 (~12.5% of matches)
+                b.if_then(Cond::new(CmpCond::Eq, u, 7), |b| {
+                    b.addi(flushes, flushes, 1);
+                });
+            },
+            |b| {
+                b.alu(AluOp::Sub, acc, acc, v);
+            },
+        );
+        // low-bits class (25% taken) — predicate fodder for PGU
+        b.if_then_else(
+            Cond::new(CmpCond::Eq, t, 3),
+            |b| b.addi(classes, classes, 1),
+            |b| b.addi(classes, classes, 2),
+        );
+    });
+    b.store(acc, r(0), OUT_BASE);
+    b.store(classes, r(0), OUT_BASE + 1);
+    b.store(flushes, r(0), OUT_BASE + 2);
+    b.halt();
+    b.finish().expect("gzip analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("gzip", seed);
+    let data = run_structured(&mut rng, N as usize, 128, 256, 12.0);
+    Memory::from_slice(INPUT_BASE as i64, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn runs_and_produces_outputs() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(1));
+        let summary = exec.run(&mut NullSink, 1_000_000);
+        assert!(summary.halted);
+        // every byte is classified exactly once
+        let classes = exec.memory().load(i64::from(OUT_BASE) + 1);
+        assert!(classes >= i64::from(N), "classes = {classes}");
+        // flushes are rare but present
+        let flushes = exec.memory().load(i64::from(OUT_BASE) + 2);
+        assert!((N as f64 * 0.01..N as f64 * 0.3).contains(&(flushes as f64)));
+    }
+}

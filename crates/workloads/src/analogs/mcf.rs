@@ -1,0 +1,108 @@
+//! `mcf` analog: pointer-chasing over a successor table with
+//! data-dependent cost tests — the loads feed the branches, so branch
+//! behaviour is pure data, not control, structure.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{uniform, InputRng};
+use crate::suite::{Benchmark, INPUT2_BASE, INPUT_BASE, OUT_BASE};
+
+/// Number of nodes (power of two so masking is cheap).
+const NODES: i64 = 2048;
+const STARTS: i32 = 500;
+const DEPTH: i32 = 8;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "mcf",
+        description: "pointer-chase over a random successor graph with \
+                      data-dependent cost-class branches",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, k, ptr, c, top) = (r(28), r(29), r(10), r(1), r(3));
+    let (odd_sum, even_sum, hot, idx) = (r(20), r(21), r(23), r(11));
+    let mut b = CfgBuilder::new();
+    b.for_range(i, 0, STARTS, |b| {
+        // starting node: spread the starts across the table
+        b.alu(AluOp::Mul, idx, i, 37);
+        b.alu(AluOp::And, idx, idx, (NODES - 1) as i32);
+        b.load(ptr, idx, INPUT_BASE);
+        b.for_range(k, 0, DEPTH, |b| {
+            b.load(c, ptr, INPUT2_BASE);
+            // cost parity: ~50%, pure data
+            b.alu(AluOp::And, r(2), c, 1);
+            b.if_then_else(
+                Cond::new(CmpCond::Ne, r(2), 0),
+                |b| b.alu(AluOp::Add, odd_sum, odd_sum, c),
+                |b| b.alu(AluOp::Add, even_sum, even_sum, c),
+            );
+            // top cost band (~50%): the hot-node check only applies to
+            // expensive nodes, so half the time it is on a false path
+            b.alu(AluOp::And, top, c, 64);
+            b.if_then_else(
+                Cond::new(CmpCond::Ne, top, 0),
+                |b| {
+                    b.addi(r(22), r(22), 1);
+                    b.alu(AluOp::Mul, r(5), c, 5);
+                    b.alu(AluOp::Xor, r(5), r(5), odd_sum);
+                    b.alu(AluOp::Shr, r(5), r(5), 3);
+                    b.alu(AluOp::And, r(5), r(5), 63);
+                    b.alu(AluOp::Add, r(6), r(5), c);
+                    b.alu(AluOp::And, r(4), c, 56);
+                    // very hot: bits 5..3 all set (~1/8 of expensive nodes)
+                    b.if_then(Cond::new(CmpCond::Eq, r(4), 56), |b| {
+                        b.addi(hot, hot, 1);
+                    });
+                },
+                |b| b.alu(AluOp::Add, r(7), r(7), c),
+            );
+            // follow the successor edge
+            b.load(ptr, ptr, INPUT_BASE);
+        });
+    });
+    b.store(odd_sum, r(0), OUT_BASE);
+    b.store(even_sum, r(0), OUT_BASE + 1);
+    b.store(hot, r(0), OUT_BASE + 2);
+    b.halt();
+    b.finish().expect("mcf analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("mcf", seed);
+    // successor table: random next-node indices
+    let next = uniform(&mut rng, NODES as usize, 0, NODES);
+    // cost table: 7-bit costs
+    let cost = uniform(&mut rng, NODES as usize, 0, 128);
+    let mut mem = Memory::from_slice(INPUT_BASE as i64, &next);
+    mem.extend(
+        cost.iter()
+            .enumerate()
+            .map(|(a, &v)| (INPUT2_BASE as i64 + a as i64, v)),
+    );
+    mem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn chases_all_starts_to_depth() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(9));
+        let summary = exec.run(&mut NullSink, 2_000_000);
+        assert!(summary.halted);
+        let odd = exec.memory().load(i64::from(OUT_BASE));
+        let even = exec.memory().load(i64::from(OUT_BASE) + 1);
+        assert!(odd > 0 && even > 0, "both parities must occur");
+    }
+}

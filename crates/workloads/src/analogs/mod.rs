@@ -1,0 +1,65 @@
+//! The eleven SPECint-2000 analog benchmarks.
+//!
+//! Shared conventions:
+//!
+//! * registers `r1..r15` hold per-iteration data, `r20..r27` hold
+//!   accumulators, `r28..r31` are loop counters (outermost first);
+//! * the primary input array lives at `INPUT_BASE`, a secondary array at
+//!   `INPUT2_BASE`, and results are stored from `OUT_BASE` so tests can
+//!   check plain/predicated equivalence through memory;
+//! * every loop is counted (or step-limited), so every benchmark halts on
+//!   every input.
+
+pub(crate) mod bzip2;
+pub(crate) mod crafty;
+pub(crate) mod gap;
+pub(crate) mod gcc;
+pub(crate) mod gzip;
+pub(crate) mod mcf;
+pub(crate) mod parser;
+pub(crate) mod perlbmk;
+pub(crate) mod twolf;
+pub(crate) mod vortex;
+pub(crate) mod vpr;
+
+use predbranch_isa::Gpr;
+
+/// Register name shorthand used by every analog.
+pub(crate) fn r(i: u8) -> Gpr {
+    Gpr::new(i).expect("analog register indices are < 64")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::suite::{suite, TRAIN_SEED};
+    use predbranch_compiler::{profile_cfg, ProfileConfig};
+    use std::collections::HashMap;
+
+    /// Every analog must contain both convertible (bias < 0.85) and
+    /// keep-worthy (bias ≥ 0.85) executed branches — the mix the study
+    /// is about.
+    #[test]
+    fn every_analog_mixes_biased_and_unbiased_branches() {
+        for bench in suite() {
+            let cfg = bench.cfg();
+            let mut mem: HashMap<i64, i64> = bench.input(TRAIN_SEED).iter().collect();
+            let profile = profile_cfg(&cfg, &mut mem, &ProfileConfig::default());
+            let mut low = 0;
+            let mut high = 0;
+            for id in cfg.block_ids() {
+                if let Some(bias) = profile.bias(id) {
+                    if profile.executions(id) < 100 {
+                        continue;
+                    }
+                    if bias < 0.85 {
+                        low += 1;
+                    } else {
+                        high += 1;
+                    }
+                }
+            }
+            assert!(low >= 1, "{}: no convertible branches", bench.name());
+            assert!(high >= 1, "{}: no keep-worthy branches", bench.name());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! `parser` analog: a token-class state machine — class splits convert,
+//! a rare bigram-triggered error path stays a region branch.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond, Src};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{markov_stream, InputRng};
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const N: i32 = 2800;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "parser",
+        description: "token state machine over a Markov class stream; the error \
+                      branch fires only on a rare class bigram",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, c, prev, pair, state) = (r(28), r(1), r(11), r(3), r(10));
+    let (words, resets, errors) = (r(20), r(21), r(23));
+    let mut b = CfgBuilder::new();
+    b.mov(prev, 0);
+    b.mov(state, 0);
+    b.for_range(i, 0, N, |b| {
+        b.load(c, i, INPUT_BASE);
+        // letter-class tokens extend the current word (~40%, Markov)
+        b.if_then_else(
+            Cond::new(CmpCond::Lt, c, 2),
+            |b| b.addi(state, state, 1),
+            |b| {
+                b.addi(words, words, 1);
+                b.mov(state, 0);
+            },
+        );
+        // long-word check: data-dependent, moderately biased
+        b.if_then(Cond::new(CmpCond::Gt, state, 3), |b| {
+            b.addi(resets, resets, 1);
+            b.mov(state, 0);
+        });
+        // separator-class split (~40%): the error branch only exists on
+        // the separator path, so 60% of the time it sits on a squashable
+        // false path
+        b.if_then_else(
+            Cond::new(CmpCond::Ge, c, 3),
+            |b| {
+                b.addi(r(24), r(24), 1);
+                b.alu(AluOp::Mul, pair, prev, 5);
+                b.alu(AluOp::Add, pair, pair, Src::Reg(c));
+                b.alu(AluOp::Xor, r(5), pair, 9);
+                b.alu(AluOp::Add, r(5), r(5), state);
+                b.alu(AluOp::And, r(5), r(5), 511);
+                b.alu(AluOp::Shr, r(6), r(5), 2);
+                // the 4,4 bigram is a parse error (~2.5% of separators,
+                // fully determined by this and the previous class)
+                b.if_then(Cond::new(CmpCond::Eq, pair, 24), |b| {
+                    b.addi(errors, errors, 1);
+                });
+            },
+            |b| b.addi(r(22), r(22), 1),
+        );
+        b.mov(prev, Src::Reg(c));
+    });
+    b.store(words, r(0), OUT_BASE);
+    b.store(resets, r(0), OUT_BASE + 1);
+    b.store(errors, r(0), OUT_BASE + 2);
+    b.halt();
+    b.finish().expect("parser analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("parser", seed);
+    let data = markov_stream(&mut rng, N as usize, 5, 0.75);
+    Memory::from_slice(INPUT_BASE as i64, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn errors_are_rare_but_present() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(4));
+        assert!(exec.run(&mut NullSink, 1_000_000).halted);
+        let errors = exec.memory().load(i64::from(OUT_BASE) + 2) as f64;
+        assert!((0.0..0.1).contains(&(errors / f64::from(N))), "{errors}");
+        assert!(exec.memory().load(i64::from(OUT_BASE)) > 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! `perlbmk` analog: interpreter dispatch over 16 bigram-correlated
+//! opcodes, with an inner loop for the "repeat" opcode.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{markov_stream, InputRng};
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const N: i32 = 2200;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "perlbmk",
+        description: "16-way interpreter dispatch with an inner loop opcode and \
+                      a rare opcode-15 slow path",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, k, op, b8, b4) = (r(28), r(29), r(1), r(2), r(3));
+    let (work, loops, slow) = (r(20), r(21), r(23));
+    let mut b = CfgBuilder::new();
+    b.for_range(i, 0, N, |b| {
+        b.load(op, i, INPUT_BASE);
+        b.alu(AluOp::And, b8, op, 8);
+        b.alu(AluOp::And, b4, op, 4);
+        // two-level class dispatch (~50% each, bigram-correlated)
+        b.if_then_else(
+            Cond::new(CmpCond::Ne, b8, 0),
+            |b| {
+                b.if_then_else(
+                    Cond::new(CmpCond::Ne, b4, 0),
+                    |b| b.alu(AluOp::Add, work, work, op),
+                    |b| b.alu(AluOp::Xor, work, work, op),
+                );
+            },
+            |b| {
+                b.if_then_else(
+                    Cond::new(CmpCond::Ne, b4, 0),
+                    |b| b.alu(AluOp::Sub, work, work, op),
+                    |b| b.alu(AluOp::Or, work, work, op),
+                );
+            },
+        );
+        // opcode 5: a counted repeat — the inner loop's exit is a
+        // region-based branch after conversion
+        b.if_then(Cond::new(CmpCond::Eq, op, 5), |b| {
+            b.for_range(k, 0, 4, |b| {
+                b.alu(AluOp::Add, loops, loops, k);
+            });
+        });
+        // opcode 15: rare slow path (~1/16, determined by the class bits)
+        b.if_then(Cond::new(CmpCond::Eq, op, 15), |b| {
+            b.addi(slow, slow, 1);
+            b.alu(AluOp::Mul, work, work, 3);
+        });
+    });
+    b.store(work, r(0), OUT_BASE);
+    b.store(loops, r(0), OUT_BASE + 1);
+    b.store(slow, r(0), OUT_BASE + 2);
+    b.halt();
+    b.finish().expect("perlbmk analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("perlbmk", seed);
+    let data = markov_stream(&mut rng, N as usize, 16, 0.7);
+    Memory::from_slice(INPUT_BASE as i64, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn inner_loop_and_slow_path_exercise() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(6));
+        assert!(exec.run(&mut NullSink, 2_000_000).halted);
+        assert!(exec.memory().load(i64::from(OUT_BASE) + 1) > 0, "repeat op ran");
+        assert!(exec.memory().load(i64::from(OUT_BASE) + 2) > 0, "slow path ran");
+    }
+}

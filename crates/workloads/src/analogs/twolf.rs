@@ -1,0 +1,92 @@
+//! `twolf` analog: standard-cell annealing with a cooling schedule — the
+//! acceptance branch's bias *drifts across phases*, stressing predictor
+//! adaptivity, plus a rare large-gain branch implied by the acceptance
+//! predicates.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond, Src};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{uniform, InputRng};
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const N: i32 = 3000;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "twolf",
+        description: "annealing with a cooling schedule: acceptance bias drifts \
+                      per phase; rare big-gain branch implied by the delta sign",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, raw, delta, phase, threshold) = (r(28), r(1), r(2), r(3), r(4));
+    let (cost, accepts, bigs) = (r(20), r(21), r(23));
+    let tmp = r(5);
+    let mut b = CfgBuilder::new();
+    b.for_range(i, 0, N, |b| {
+        b.load(raw, i, INPUT_BASE);
+        b.alu(AluOp::Sub, delta, raw, 64);
+        // cooling schedule: threshold = 48 - 12·(i / 512), so the uphill
+        // acceptance probability falls from ~87% to ~0% across phases
+        b.alu(AluOp::Shr, phase, i, 9);
+        b.alu(AluOp::Mul, tmp, phase, 12);
+        b.mov(threshold, 48);
+        b.alu(AluOp::Sub, threshold, threshold, Src::Reg(tmp));
+        // accept when delta below the (cooling) threshold
+        b.if_then_else(
+            Cond::new(CmpCond::Lt, delta, Src::Reg(threshold)),
+            |b| {
+                b.addi(accepts, accepts, 1);
+                b.alu(AluOp::Add, cost, cost, delta);
+            },
+            |b| {
+                b.alu(AluOp::Xor, cost, cost, delta);
+            },
+        );
+        // strictly-downhill half (~50%): a second convertible predicate
+        b.if_then(Cond::new(CmpCond::Lt, delta, 0), |b| {
+            b.alu(AluOp::Add, r(22), r(22), 1);
+        });
+        // big gain: delta < -56 (~6%), implies both predicates above
+        b.if_then(Cond::new(CmpCond::Lt, delta, -56), |b| {
+            b.addi(bigs, bigs, 1);
+        });
+    });
+    b.store(accepts, r(0), OUT_BASE);
+    b.store(cost, r(0), OUT_BASE + 1);
+    b.store(bigs, r(0), OUT_BASE + 2);
+    b.halt();
+    b.finish().expect("twolf analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("twolf", seed);
+    let data = uniform(&mut rng, N as usize, 0, 128);
+    Memory::from_slice(INPUT_BASE as i64, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn acceptance_cools_down() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(13));
+        assert!(exec.run(&mut NullSink, 1_000_000).halted);
+        let accepts = exec.memory().load(i64::from(OUT_BASE)) as f64;
+        // averaged over all phases acceptance is well below the hot-phase
+        // ~87% and above the cold-phase ~0%
+        let rate = accepts / f64::from(N);
+        assert!((0.2..0.8).contains(&rate), "rate = {rate}");
+        let bigs = exec.memory().load(i64::from(OUT_BASE) + 2) as f64;
+        assert!((0.01..0.15).contains(&(bigs / f64::from(N))), "{bigs}");
+    }
+}

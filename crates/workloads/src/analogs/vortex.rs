@@ -1,0 +1,113 @@
+//! `vortex` analog: record validation — chains of biased checks where a
+//! nested "repair" branch lives on a mostly-false path, so once the path
+//! predicate resolves false the squash filter kills the branch for free
+//! (false-path chaining).
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond, Src};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::InputRng;
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const RECORDS: i32 = 700;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "vortex",
+        description: "record validation: a repair branch nested on a 30% path \
+                      (false-path squash fodder) plus biased field checks",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, base, f0, f1, f2, f3) = (r(28), r(12), r(1), r(2), r(3), r(4));
+    let (valid, dirty, repairs, nulls, sum) = (r(20), r(21), r(23), r(24), r(22));
+    let mut b = CfgBuilder::new();
+    b.for_range(i, 0, RECORDS, |b| {
+        b.alu(AluOp::Shl, base, i, 2);
+        b.load(f0, base, INPUT_BASE);
+        b.load(f1, base, INPUT_BASE + 1);
+        b.load(f2, base, INPUT_BASE + 2);
+        b.load(f3, base, INPUT_BASE + 3);
+        // field-0 alignment check (~25% taken)
+        b.alu(AluOp::And, r(5), f0, 3);
+        b.if_then_else(
+            Cond::new(CmpCond::Eq, r(5), 0),
+            |b| b.addi(valid, valid, 1),
+            |b| b.alu(AluOp::Add, sum, sum, f0),
+        );
+        // dirty record path (~30%): inside it, after enough work for the
+        // path predicate to resolve, a rare repair branch. When the path
+        // predicate is false (70%) and resolved, the repair branch's
+        // guard clears immediately and the squash filter covers it.
+        b.if_then_else(
+            Cond::new(CmpCond::Lt, f1, 77),
+            |b| {
+                b.addi(dirty, dirty, 1);
+                b.alu(AluOp::Add, sum, sum, f1);
+                b.alu(AluOp::Xor, sum, sum, f2);
+                b.alu(AluOp::Mul, r(6), f1, 3);
+                b.alu(AluOp::Add, sum, sum, r(6));
+                b.alu(AluOp::Shr, r(6), r(6), 1);
+                b.alu(AluOp::Or, sum, sum, Src::Reg(r(6)));
+                b.alu(AluOp::And, r(7), f2, 255);
+                // deep repair: f2 in the top band (~6% of dirty records)
+                b.if_then(Cond::new(CmpCond::Gt, r(7), 240), |b| {
+                    b.addi(repairs, repairs, 1);
+                });
+            },
+            |b| {
+                b.alu(AluOp::Add, sum, sum, f2);
+            },
+        );
+        // null pointer field: ~5% (kept, biased)
+        b.if_then(Cond::new(CmpCond::Eq, f3, 0), |b| {
+            b.addi(nulls, nulls, 1);
+        });
+        b.alu(AluOp::Xor, sum, sum, f3);
+    });
+    b.store(valid, r(0), OUT_BASE);
+    b.store(dirty, r(0), OUT_BASE + 1);
+    b.store(repairs, r(0), OUT_BASE + 2);
+    b.store(nulls, r(0), OUT_BASE + 3);
+    b.store(sum, r(0), OUT_BASE + 4);
+    b.halt();
+    b.finish().expect("vortex analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("vortex", seed);
+    let mut fields = Vec::with_capacity(RECORDS as usize * 4);
+    for _ in 0..RECORDS {
+        fields.push(rng.range(0, 256)); // f0
+        fields.push(rng.range(0, 256)); // f1: < 77 ⇒ dirty (~30%)
+        fields.push(rng.range(0, 256)); // f2: > 240 ⇒ repair (~6%)
+        fields.push(if rng.coin(0.05) { 0 } else { rng.range(1, 256) }); // f3
+    }
+    Memory::from_slice(INPUT_BASE as i64, &fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn check_rates_match_design() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(11));
+        assert!(exec.run(&mut NullSink, 1_000_000).halted);
+        let n = f64::from(RECORDS);
+        let dirty = exec.memory().load(i64::from(OUT_BASE) + 1) as f64;
+        let repairs = exec.memory().load(i64::from(OUT_BASE) + 2) as f64;
+        let nulls = exec.memory().load(i64::from(OUT_BASE) + 3) as f64;
+        assert!((0.2..0.4).contains(&(dirty / n)), "dirty {dirty}");
+        assert!(repairs < dirty * 0.2, "repairs {repairs}");
+        assert!((0.0..0.12).contains(&(nulls / n)), "nulls {nulls}");
+    }
+}

@@ -1,0 +1,96 @@
+//! `vpr` analog: placement annealing — accept/reject decisions near 50%
+//! bias, with a rare "new best" branch correlated with the cost delta
+//! predicates.
+
+use predbranch_compiler::{Cfg, CfgBuilder, Cond};
+use predbranch_isa::{AluOp, CmpCond, Src};
+use predbranch_sim::Memory;
+
+use super::r;
+use crate::inputs::{uniform, InputRng};
+use crate::suite::{Benchmark, INPUT_BASE, OUT_BASE};
+
+const N: i32 = 2500;
+
+pub(crate) fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "vpr",
+        description: "annealing accept/reject around 50% bias with a rare \
+                      delta-correlated best-update branch",
+        build,
+        input,
+    }
+}
+
+fn build() -> Cfg {
+    let (i, a, bb, delta, masked) = (r(28), r(1), r(2), r(3), r(4));
+    let (accept, accepts, rejects, best) = (r(5), r(20), r(21), r(23));
+    let cost = r(22);
+    let mut b = CfgBuilder::new();
+    b.for_range(i, 0, N - 1, |b| {
+        b.load(a, i, INPUT_BASE);
+        b.load(bb, i, INPUT_BASE + 1);
+        b.alu(AluOp::Sub, delta, a, Src::Reg(bb));
+        b.mov(accept, 0);
+        // downhill move: always accept (~50%)
+        b.if_then_else(
+            Cond::new(CmpCond::Lt, delta, 0),
+            |b| {
+                b.mov(accept, 1);
+                b.alu(AluOp::Add, cost, cost, delta);
+            },
+            |b| {
+                // uphill: accept with ~25% "temperature" probability
+                b.alu(AluOp::And, masked, delta, 63);
+                b.if_then_else(
+                    Cond::new(CmpCond::Lt, masked, 16),
+                    |b| {
+                        b.mov(accept, 1);
+                        b.alu(AluOp::Add, cost, cost, delta);
+                    },
+                    |b| b.addi(rejects, rejects, 1),
+                );
+            },
+        );
+        b.if_then(Cond::new(CmpCond::Eq, accept, 1), |b| {
+            b.addi(accepts, accepts, 1);
+        });
+        // rare, strongly downhill: record new best (~7%, implied by the
+        // accept predicate — a region branch PGU can correlate)
+        b.if_then(Cond::new(CmpCond::Lt, delta, -160), |b| {
+            b.addi(best, best, 1);
+        });
+    });
+    b.store(accepts, r(0), OUT_BASE);
+    b.store(rejects, r(0), OUT_BASE + 1);
+    b.store(cost, r(0), OUT_BASE + 2);
+    b.store(best, r(0), OUT_BASE + 3);
+    b.halt();
+    b.finish().expect("vpr analog is well-formed")
+}
+
+fn input(seed: u64) -> Memory {
+    let mut rng = InputRng::new("vpr", seed);
+    let data = uniform(&mut rng, N as usize, 0, 256);
+    Memory::from_slice(INPUT_BASE as i64, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn accept_rate_is_mixed() {
+        let bench = benchmark();
+        let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
+        let mut exec = Executor::new(&program, bench.input(3));
+        assert!(exec.run(&mut NullSink, 1_000_000).halted);
+        let accepts = exec.memory().load(i64::from(OUT_BASE)) as f64;
+        let total = f64::from(N - 1);
+        // ~50% downhill + ~12% uphill-accepted
+        assert!((0.4..0.8).contains(&(accepts / total)), "{accepts}");
+        let best = exec.memory().load(i64::from(OUT_BASE) + 3) as f64;
+        assert!((0.01..0.2).contains(&(best / total)), "{best}");
+    }
+}

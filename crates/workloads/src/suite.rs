@@ -1,0 +1,252 @@
+//! The benchmark suite: descriptors, compilation, and registry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use predbranch_compiler::{
+    hoist_compares, if_convert, lower, profile_cfg, Cfg, IfConvStats, IfConvertConfig,
+    ProfileConfig, RegionInfo,
+};
+use predbranch_isa::Program;
+use predbranch_sim::Memory;
+
+use crate::analogs;
+
+/// Seed used for the training (profiling) input by convention.
+pub const TRAIN_SEED: u64 = 0x7261_696e;
+
+/// Seed used for the evaluation input by convention (≠ train, so the
+/// if-converter never sees the measured input).
+pub const EVAL_SEED: u64 = 0x6576_616c;
+
+/// Default per-run dynamic instruction budget; every analog halts well
+/// within it on any input.
+pub const DEFAULT_MAX_INSTRUCTIONS: u64 = 4_000_000;
+
+/// Base address of the primary input array in data memory.
+pub(crate) const INPUT_BASE: i32 = 1_000;
+
+/// Base address of the secondary input array.
+pub(crate) const INPUT2_BASE: i32 = 200_000;
+
+/// Base address for benchmark outputs (checked by tests, never read by
+/// the benchmarks themselves).
+pub(crate) const OUT_BASE: i32 = 900_000;
+
+/// One benchmark analog: a CFG builder plus a seeded input generator.
+#[derive(Clone)]
+pub struct Benchmark {
+    pub(crate) name: &'static str,
+    pub(crate) description: &'static str,
+    pub(crate) build: fn() -> Cfg,
+    pub(crate) input: fn(u64) -> Memory,
+}
+
+impl Benchmark {
+    /// The benchmark's short name (its SPECint namesake).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One line describing the branch structure the analog targets.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Builds the benchmark's control-flow graph.
+    pub fn cfg(&self) -> Cfg {
+        (self.build)()
+    }
+
+    /// Generates the input memory image for a seed.
+    pub fn input(&self, seed: u64) -> Memory {
+        (self.input)(seed)
+    }
+}
+
+impl fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+/// How to compile a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileOptions {
+    /// If-conversion tuning.
+    pub ifconv: IfConvertConfig,
+    /// Seed of the training input used for profile-guided conversion.
+    pub train_seed: u64,
+    /// Profiling block budget.
+    pub profile_max_blocks: u64,
+    /// Run the compare-hoisting scheduler on the predicated binary
+    /// (IMPACT-style: maximizes definition-to-branch distance).
+    pub hoist: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            ifconv: IfConvertConfig::default(),
+            train_seed: TRAIN_SEED,
+            profile_max_blocks: 4_000_000,
+            hoist: false,
+        }
+    }
+}
+
+/// A benchmark compiled both ways.
+#[derive(Debug, Clone)]
+pub struct CompiledBenchmark {
+    /// The benchmark's name.
+    pub name: &'static str,
+    /// Plain branchy lowering (the "no if-conversion" binary).
+    pub plain: Program,
+    /// The if-converted, predicated binary with region-based branches.
+    pub predicated: Program,
+    /// Region metadata from the if-converter.
+    pub regions: Vec<RegionInfo>,
+    /// If-conversion statistics.
+    pub ifconv_stats: IfConvStats,
+}
+
+/// Compiles a benchmark with profile-guided if-conversion (trained on
+/// `opts.train_seed`).
+///
+/// # Panics
+///
+/// Panics if compilation fails — the suite's CFGs are all valid by
+/// construction, so a failure is a bug worth crashing on.
+pub fn compile_benchmark(bench: &Benchmark, opts: &CompileOptions) -> CompiledBenchmark {
+    let cfg = bench.cfg();
+    let plain = lower(&cfg).expect("suite CFGs lower");
+    let mut train: HashMap<i64, i64> = bench.input(opts.train_seed).iter().collect();
+    let profile = profile_cfg(
+        &cfg,
+        &mut train,
+        &ProfileConfig {
+            max_blocks: opts.profile_max_blocks,
+        },
+    );
+    assert!(
+        profile.halted(),
+        "benchmark {} did not halt during profiling",
+        bench.name
+    );
+    let converted =
+        if_convert(&cfg, Some(&profile), &opts.ifconv).expect("suite CFGs if-convert");
+    let predicated = if opts.hoist {
+        hoist_compares(&converted.program).program
+    } else {
+        converted.program
+    };
+    CompiledBenchmark {
+        name: bench.name,
+        plain,
+        predicated,
+        regions: converted.regions,
+        ifconv_stats: converted.stats,
+    }
+}
+
+/// The full 11-benchmark suite, in canonical order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        analogs::gzip::benchmark(),
+        analogs::vpr::benchmark(),
+        analogs::gcc::benchmark(),
+        analogs::mcf::benchmark(),
+        analogs::crafty::benchmark(),
+        analogs::parser::benchmark(),
+        analogs::perlbmk::benchmark(),
+        analogs::gap::benchmark(),
+        analogs::vortex::benchmark(),
+        analogs::bzip2::benchmark(),
+        analogs::twolf::benchmark(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_sim::{Executor, NullSink};
+
+    #[test]
+    fn suite_has_eleven_unique_names() {
+        let s = suite();
+        assert_eq!(s.len(), 11);
+        let names: std::collections::HashSet<_> = s.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 11);
+        for b in &s {
+            assert!(!b.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_benchmark_compiles_and_halts_both_ways() {
+        for bench in suite() {
+            let compiled = compile_benchmark(&bench, &CompileOptions::default());
+            for (label, program) in [("plain", &compiled.plain), ("pred", &compiled.predicated)]
+            {
+                let mut exec = Executor::new(program, bench.input(EVAL_SEED));
+                let summary = exec.run(&mut NullSink, DEFAULT_MAX_INSTRUCTIONS);
+                assert!(
+                    summary.halted,
+                    "{}/{label} did not halt within budget",
+                    compiled.name
+                );
+                assert!(
+                    summary.instructions > 10_000,
+                    "{}/{label} too short ({} insts) to be a meaningful workload",
+                    compiled.name,
+                    summary.instructions
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_benchmark_converts_and_keeps_region_branches() {
+        for bench in suite() {
+            let compiled = compile_benchmark(&bench, &CompileOptions::default());
+            assert!(
+                compiled.ifconv_stats.branches_converted >= 1,
+                "{}: nothing if-converted",
+                compiled.name
+            );
+            assert!(
+                compiled.predicated.stats().region_branches >= 1,
+                "{}: no region-based branches",
+                compiled.name
+            );
+        }
+    }
+
+    #[test]
+    fn plain_and_predicated_agree_architecturally() {
+        for bench in suite() {
+            let compiled = compile_benchmark(&bench, &CompileOptions::default());
+            let mut a = Executor::new(&compiled.plain, bench.input(EVAL_SEED));
+            let mut b = Executor::new(&compiled.predicated, bench.input(EVAL_SEED));
+            a.run(&mut NullSink, DEFAULT_MAX_INSTRUCTIONS);
+            b.run(&mut NullSink, DEFAULT_MAX_INSTRUCTIONS);
+            let mut mem_a: Vec<_> = a.memory().iter().collect();
+            let mut mem_b: Vec<_> = b.memory().iter().collect();
+            mem_a.sort_unstable();
+            mem_b.sort_unstable();
+            assert_eq!(mem_a, mem_b, "{}: memory diverged", compiled.name);
+        }
+    }
+
+    #[test]
+    fn train_and_eval_inputs_differ() {
+        for bench in suite() {
+            let train = bench.input(TRAIN_SEED);
+            let eval = bench.input(EVAL_SEED);
+            assert_ne!(train, eval, "{}: inputs identical across seeds", bench.name());
+        }
+    }
+}

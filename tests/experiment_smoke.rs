@@ -1,0 +1,72 @@
+//! Smoke-tests every registered experiment at quick scale and checks the
+//! study's qualitative claims hold in the regenerated artifacts.
+
+use predbranch_bench::{all_experiments, Artifact, Scale};
+
+#[test]
+fn all_experiments_produce_artifacts() {
+    for exp in all_experiments() {
+        let artifacts = (exp.run)(&Scale::quick());
+        assert!(!artifacts.is_empty(), "{}", exp.id);
+        for artifact in &artifacts {
+            assert!(!artifact.to_string().trim().is_empty());
+        }
+    }
+}
+
+#[test]
+fn f3_headline_never_worsens_with_sfpf() {
+    let exp = predbranch_bench::experiments::find_experiment("f3").unwrap();
+    let artifacts = (exp.run)(&Scale::quick());
+    let Artifact::Table(table) = &artifacts[0] else {
+        panic!("f3 must produce a table");
+    };
+    // columns: bench, gshare, +SFPF, +PGU, +both; compare per data row
+    for row in 0..table.row_count().saturating_sub(2) {
+        let parse = |col: usize| -> f64 {
+            table
+                .cell(row, col)
+                .unwrap()
+                .as_str()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
+        };
+        let base = parse(1);
+        let sfpf = parse(2);
+        assert!(
+            sfpf <= base + 1e-6,
+            "row {row}: SFPF worsened {base} -> {sfpf}"
+        );
+    }
+}
+
+#[test]
+fn f2_known_false_shrinks_with_latency() {
+    let exp = predbranch_bench::experiments::find_experiment("f2").unwrap();
+    let artifacts = (exp.run)(&Scale::quick());
+    let Artifact::Series(series) = &artifacts[0] else {
+        panic!("f2 must lead with a series");
+    };
+    let known_false = series.line_values(0).unwrap();
+    assert!(
+        known_false.first().unwrap() >= known_false.last().unwrap(),
+        "known-false coverage must not grow with latency: {known_false:?}"
+    );
+    let unknown = series.line_values(2).unwrap();
+    assert!(unknown.first().unwrap() <= unknown.last().unwrap());
+}
+
+#[test]
+fn f5_bigger_tables_do_not_hurt_baseline() {
+    let exp = predbranch_bench::experiments::find_experiment("f5").unwrap();
+    let artifacts = (exp.run)(&Scale::quick());
+    let Artifact::Series(series) = &artifacts[0] else {
+        panic!("f5 must produce a series");
+    };
+    let gshare = series.line_values(0).unwrap();
+    assert!(
+        gshare.first().unwrap() + 1e-6 >= *gshare.last().unwrap(),
+        "64 KB gshare must beat 1 KB gshare: {gshare:?}"
+    );
+}

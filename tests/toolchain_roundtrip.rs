@@ -1,0 +1,75 @@
+//! Whole-toolchain round trip over the full suite: compile (with
+//! hoisting), print as assembly, reassemble, binary-encode, decode, and
+//! execute — every representation must agree.
+
+use predbranch::compiler::hoist_compares;
+use predbranch::isa::{assemble, decode_program, encode_program, Program};
+use predbranch::sim::{Executor, NullSink};
+use predbranch::workloads::{
+    compile_benchmark, suite, CompileOptions, DEFAULT_MAX_INSTRUCTIONS, EVAL_SEED,
+};
+
+fn final_memory(program: &Program, memory: predbranch::sim::Memory) -> Vec<(i64, i64)> {
+    let mut exec = Executor::new(program, memory);
+    let summary = exec.run(&mut NullSink, DEFAULT_MAX_INSTRUCTIONS);
+    assert!(summary.halted);
+    let mut mem: Vec<_> = exec.memory().iter().collect();
+    mem.sort_unstable();
+    mem
+}
+
+#[test]
+fn assembly_text_roundtrip_preserves_execution() {
+    for bench in suite() {
+        let compiled = compile_benchmark(
+            &bench,
+            &CompileOptions {
+                hoist: true,
+                ..CompileOptions::default()
+            },
+        );
+        let text = compiled.predicated.to_string();
+        let reassembled = assemble(&text)
+            .unwrap_or_else(|e| panic!("{}: disassembly must reassemble: {e}", compiled.name));
+        assert_eq!(reassembled.insts(), compiled.predicated.insts(), "{}", compiled.name);
+        assert_eq!(
+            final_memory(&compiled.predicated, bench.input(EVAL_SEED)),
+            final_memory(&reassembled, bench.input(EVAL_SEED)),
+            "{}",
+            compiled.name
+        );
+    }
+}
+
+#[test]
+fn binary_roundtrip_preserves_execution() {
+    for bench in suite() {
+        let compiled = compile_benchmark(&bench, &CompileOptions::default());
+        let words = encode_program(&compiled.predicated)
+            .unwrap_or_else(|e| panic!("{}: encodes: {e}", compiled.name));
+        let insts = decode_program(&words).unwrap();
+        let decoded = Program::new(insts).unwrap();
+        assert_eq!(
+            final_memory(&compiled.predicated, bench.input(EVAL_SEED)),
+            final_memory(&decoded, bench.input(EVAL_SEED)),
+            "{}",
+            compiled.name
+        );
+    }
+}
+
+#[test]
+fn hoisting_preserves_suite_execution_and_lint_cleanliness() {
+    for bench in suite() {
+        let plain_sched = compile_benchmark(&bench, &CompileOptions::default());
+        let hoisted = hoist_compares(&plain_sched.predicated);
+        assert_eq!(
+            final_memory(&plain_sched.predicated, bench.input(EVAL_SEED)),
+            final_memory(&hoisted.program, bench.input(EVAL_SEED)),
+            "{}",
+            plain_sched.name
+        );
+        let lints = predbranch::isa::lint_program(&hoisted.program);
+        assert!(lints.is_empty(), "{}: {lints:?}", plain_sched.name);
+    }
+}
