@@ -1,0 +1,78 @@
+//! Criterion comparison of the two ways to drive a predictor over a
+//! benchmark: live functional simulation versus replaying a recorded
+//! trace. The gap between the two is exactly what the trace cache saves
+//! on every predictor configuration after the first.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use predbranch_core::{build_predictor, HarnessConfig, PredictionHarness, PredictorSpec};
+use predbranch_isa::Program;
+use predbranch_sim::{Executor, Memory, RunSummary};
+use predbranch_trace::{program_hash, TraceHeader, TraceReader, TraceWriter};
+use predbranch_workloads::{compile_benchmark, suite, CompileOptions, EVAL_SEED};
+
+const BUDGET: u64 = 4_000_000;
+
+/// The gzip analog's predicated binary, its input, and its trace.
+fn fixture() -> (Program, Memory, Vec<u8>, RunSummary) {
+    let bench = &suite()[0];
+    let compiled = compile_benchmark(bench, &CompileOptions::default());
+    let program = compiled.predicated;
+    let header = TraceHeader::new(bench.name(), program_hash(&program), EVAL_SEED, BUDGET);
+    let mut writer = TraceWriter::new(Vec::new(), &header).unwrap();
+    let summary = Executor::new(&program, bench.input(EVAL_SEED)).run(&mut writer, BUDGET);
+    assert!(summary.halted);
+    let bytes = writer.finish(&summary).unwrap();
+    (program, bench.input(EVAL_SEED), bytes, summary)
+}
+
+fn gshare() -> PredictorSpec {
+    PredictorSpec::Gshare {
+        index_bits: 13,
+        history_bits: 13,
+    }
+}
+
+fn bench_live_vs_replay(c: &mut Criterion) {
+    let (program, memory, trace_bytes, summary) = fixture();
+    let spec = gshare();
+
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(summary.instructions));
+
+    group.bench_with_input(
+        BenchmarkId::new("live_sim", "gzip-gshare"),
+        &spec,
+        |b, spec| {
+            b.iter(|| {
+                let mut harness =
+                    PredictionHarness::new(build_predictor(spec), HarnessConfig::default());
+                let summary = Executor::new(&program, memory.clone()).run(&mut harness, BUDGET);
+                assert!(summary.halted);
+                harness.metrics().all.mispredictions.get()
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("trace_replay", "gzip-gshare"),
+        &spec,
+        |b, spec| {
+            b.iter(|| {
+                let mut harness =
+                    PredictionHarness::new(build_predictor(spec), HarnessConfig::default());
+                TraceReader::new(trace_bytes.as_slice())
+                    .unwrap()
+                    .replay(&mut harness)
+                    .unwrap();
+                harness.metrics().all.mispredictions.get()
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_vs_replay);
+criterion_main!(benches);

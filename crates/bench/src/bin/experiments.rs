@@ -7,6 +7,9 @@
 //! experiments --quick all    # 3-benchmark quick mode
 //! experiments --bars f5      # render series as text bar charts too
 //! experiments --markdown all # fence artifacts for EXPERIMENTS.md
+//! experiments --trace-cache .traces f5
+//!                            # execute each (binary, input) once,
+//!                            # replay recorded traces for every predictor
 //! ```
 
 use std::process::ExitCode;
@@ -34,11 +37,28 @@ fn main() -> ExitCode {
     } else {
         false
     };
+    let trace_cache = if let Some(pos) = args.iter().position(|a| a == "--trace-cache") {
+        if pos + 1 >= args.len() {
+            eprintln!("--trace-cache needs a directory");
+            return ExitCode::FAILURE;
+        }
+        let dir = args.remove(pos + 1);
+        args.remove(pos);
+        Some(dir)
+    } else {
+        None
+    };
+    if let Some(dir) = &trace_cache {
+        if let Err(e) = predbranch_bench::runner::set_trace_cache(dir) {
+            eprintln!("cannot open trace cache {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let scale = if quick { Scale::quick() } else { Scale::full() };
 
     if args.is_empty() {
         println!("experiments — regenerate the study's tables and figures\n");
-        println!("usage: experiments [--quick] <id>... | all\n");
+        println!("usage: experiments [--quick] [--trace-cache <dir>] <id>... | all\n");
         for exp in all_experiments() {
             println!("  {:<4} {}", exp.id, exp.title);
         }
@@ -78,6 +98,10 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if trace_cache.is_some() {
+        let (replays, recordings) = predbranch_bench::runner::trace_cache_stats();
+        eprintln!("trace cache: {replays} replays, {recordings} recordings");
     }
     ExitCode::SUCCESS
 }

@@ -43,7 +43,10 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
         .iter()
         .map(|bench| {
             let compiled = compile_benchmark(bench, &CompileOptions::default());
-            let entry = SuiteEntry { bench: bench.clone(), compiled };
+            let entry = SuiteEntry {
+                bench: bench.clone(),
+                compiled,
+            };
             let out = run_spec(
                 &entry.compiled.plain,
                 entry.eval_input(),
@@ -81,7 +84,10 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
         let mut rel_both = Vec::new();
         for (bench, &ref_cycles) in benchmarks.iter().zip(&reference) {
             let compiled = compile_benchmark(bench, &opts);
-            let entry = SuiteEntry { bench: bench.clone(), compiled };
+            let entry = SuiteEntry {
+                bench: bench.clone(),
+                compiled,
+            };
             let out_plain_br = run_spec(
                 &entry.compiled.plain,
                 entry.eval_input(),

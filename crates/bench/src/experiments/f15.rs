@@ -11,9 +11,7 @@
 use predbranch_core::InsertFilter;
 use predbranch_sim::{ExecMetrics, Executor, GuardKnowledgeStats};
 use predbranch_stats::{mean, Cell, Table};
-use predbranch_workloads::{
-    compile_benchmark, suite, CompileOptions, DEFAULT_MAX_INSTRUCTIONS,
-};
+use predbranch_workloads::{compile_benchmark, suite, CompileOptions, DEFAULT_MAX_INSTRUCTIONS};
 
 use super::{base_spec, Artifact, Scale};
 use crate::runner::{run_spec, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY};

@@ -40,7 +40,13 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
 
     let mut table = Table::new(
         "F2b: guard knowledge per benchmark at the default latency",
-        &["bench", "known-false%", "known-true%", "unknown%", "kf accuracy%"],
+        &[
+            "bench",
+            "known-false%",
+            "known-true%",
+            "unknown%",
+            "kf accuracy%",
+        ],
     );
     for entry in &entries {
         let stats = classify(entry, DEFAULT_LATENCY);

@@ -10,10 +10,7 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
     let specs = headline_specs();
     let mut header = vec!["bench", "region br"];
     header.extend(specs.iter().map(|(label, _)| *label));
-    let mut table = Table::new(
-        "F4: region-based-branch misprediction rate (%)",
-        &header,
-    );
+    let mut table = Table::new("F4: region-based-branch misprediction rate (%)", &header);
 
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
     for entry in compiled_suite(scale.limit) {

@@ -6,9 +6,7 @@
 //! the same predicated binary, so speedups come purely from
 //! mispredictions avoided.
 
-use predbranch_core::{
-    build_predictor, HarnessConfig, InsertFilter, PredictionHarness,
-};
+use predbranch_core::{build_predictor, HarnessConfig, InsertFilter, PredictionHarness};
 use predbranch_sim::{Executor, PipelineConfig, PipelineModel};
 use predbranch_stats::{geometric_mean, Cell, Table};
 use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
@@ -59,10 +57,7 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
                 .ipc();
             }
         }
-        let mut cells = vec![
-            Cell::new(entry.compiled.name),
-            Cell::float(cycles[0].1, 3),
-        ];
+        let mut cells = vec![Cell::new(entry.compiled.name), Cell::float(cycles[0].1, 3)];
         for (i, &(c, _)) in cycles.iter().enumerate().skip(1) {
             let speedup = cycles[0].0 as f64 / c as f64;
             speedups[i - 1].push(speedup);

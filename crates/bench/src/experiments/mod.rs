@@ -13,6 +13,12 @@ use predbranch_stats::{Series, Table};
 use crate::runner::PGU_DELAY;
 
 mod f1;
+mod f10;
+mod f11;
+mod f12;
+mod f13;
+mod f14;
+mod f15;
 mod f2;
 mod f3;
 mod f4;
@@ -21,12 +27,6 @@ mod f6;
 mod f7;
 mod f8;
 mod f9;
-mod f10;
-mod f11;
-mod f12;
-mod f13;
-mod f14;
-mod f15;
 mod t1;
 mod t2;
 
@@ -350,7 +350,10 @@ mod tests {
         let artifacts = quick_artifacts("f13");
         let s = series_of(&artifacts, 0);
         let base = s.line_values(0).unwrap();
-        assert!(base.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "{base:?}");
+        assert!(
+            base.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
+            "{base:?}"
+        );
     }
 
     #[test]

@@ -38,8 +38,7 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
             .run(&mut pred_metrics, DEFAULT_MAX_INSTRUCTIONS);
 
         let removed = 100.0
-            * (1.0
-                - pred.conditional_branches as f64 / plain.conditional_branches.max(1) as f64);
+            * (1.0 - pred.conditional_branches as f64 / plain.conditional_branches.max(1) as f64);
         let pdefs_per_k = pred.pred_writes as f64 * 1000.0 / pred.instructions.max(1) as f64;
         table.row(vec![
             Cell::new(entry.compiled.name),

@@ -12,8 +12,14 @@ pub(crate) fn run(_scale: &Scale) -> Vec<Artifact> {
     let mut machine = Table::new("T2a: machine configuration", &["parameter", "value"]);
     for (name, value) in [
         ("fetch width", pipe.fetch_width.to_string()),
-        ("mispredict penalty (cycles)", pipe.mispredict_penalty.to_string()),
-        ("taken-branch bubble (cycles)", pipe.taken_bubble.to_string()),
+        (
+            "mispredict penalty (cycles)",
+            pipe.mispredict_penalty.to_string(),
+        ),
+        (
+            "taken-branch bubble (cycles)",
+            pipe.taken_bubble.to_string(),
+        ),
         (
             "predicate resolve latency (fetch slots)",
             DEFAULT_LATENCY.to_string(),

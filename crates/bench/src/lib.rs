@@ -14,6 +14,4 @@ pub mod experiments;
 pub mod runner;
 
 pub use experiments::{all_experiments, Artifact, Experiment, Scale};
-pub use runner::{
-    compiled_suite, run_spec, RunOutcome, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY,
-};
+pub use runner::{compiled_suite, run_spec, RunOutcome, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY};

@@ -1,14 +1,19 @@
 //! Shared run machinery for the experiments.
 
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use predbranch_core::{
     build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictionMetrics,
     PredictorSpec,
 };
 use predbranch_isa::Program;
 use predbranch_sim::{Executor, Memory, RunSummary};
+use predbranch_trace::{CacheKey, TraceCache};
 use predbranch_workloads::{
-    compile_benchmark, suite, Benchmark, CompileOptions, CompiledBenchmark, EVAL_SEED,
-    DEFAULT_MAX_INSTRUCTIONS,
+    compile_benchmark, suite, Benchmark, CompileOptions, CompiledBenchmark,
+    DEFAULT_MAX_INSTRUCTIONS, EVAL_SEED,
 };
 
 /// The machine's predicate resolve latency used throughout the study
@@ -18,6 +23,38 @@ pub const DEFAULT_LATENCY: u64 = 8;
 /// The realistic PGU insertion delay: predicate bits become visible to
 /// the history register one resolve latency after the defining compare.
 pub const PGU_DELAY: u64 = 8;
+
+static TRACE_CACHE: Mutex<Option<TraceCache>> = Mutex::new(None);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Routes every subsequent [`run_spec`] call through an on-disk trace
+/// cache rooted at `dir` (creating it if needed): each distinct
+/// (binary, input, budget) is executed through the functional simulator
+/// at most once per cache lifetime, and every further predictor run
+/// replays the recorded event stream. Keys are content-addressed
+/// ([`CacheKey::for_run`]), so results are numerically identical to
+/// live simulation.
+pub fn set_trace_cache(dir: impl AsRef<Path>) -> std::io::Result<()> {
+    let cache = TraceCache::open(dir.as_ref())?;
+    *TRACE_CACHE.lock().unwrap() = Some(cache);
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Turns the trace cache back off; subsequent runs execute live.
+pub fn clear_trace_cache() {
+    *TRACE_CACHE.lock().unwrap() = None;
+}
+
+/// (replays, recordings) performed since [`set_trace_cache`].
+pub fn trace_cache_stats() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
 
 /// A benchmark plus its two compiled binaries.
 #[derive(Debug)]
@@ -103,8 +140,20 @@ pub fn run_spec(
             insert,
         },
     );
-    let summary =
-        Executor::new(program, memory).run(&mut harness, 2 * DEFAULT_MAX_INSTRUCTIONS);
+    let budget = 2 * DEFAULT_MAX_INSTRUCTIONS;
+    let cache = TRACE_CACHE.lock().unwrap().clone();
+    let summary = match cache {
+        Some(cache) => {
+            let key = CacheKey::for_run("run", program, &memory, budget);
+            let (summary, hit) = cache
+                .replay_or_record(&key, program, memory, budget, &mut harness)
+                .expect("trace cache I/O failed");
+            let counter = if hit { &CACHE_HITS } else { &CACHE_MISSES };
+            counter.fetch_add(1, Ordering::Relaxed);
+            summary
+        }
+        None => Executor::new(program, memory).run(&mut harness, budget),
+    };
     assert!(summary.halted, "experiment program did not halt");
     RunOutcome {
         metrics: *harness.metrics(),

@@ -332,7 +332,10 @@ mod tests {
     fn diamond() -> Cfg {
         Cfg::from_blocks(vec![
             Block {
-                ops: vec![MidOp::Mov { dst: r(1), src: Src::Imm(1) }],
+                ops: vec![MidOp::Mov {
+                    dst: r(1),
+                    src: Src::Imm(1),
+                }],
                 term: Terminator::CondBr {
                     cond: Cond::new(CmpCond::Gt, r(1), 0),
                     then_bb: BlockId(1),

@@ -33,9 +33,7 @@ use predbranch_isa::{CmpType, Inst, Op, PredReg, Program};
 use crate::cfg::{BlockId, Cfg, Cond, Terminator};
 use crate::dom::Dominators;
 use crate::error::CompileError;
-use crate::linearize::{
-    always_false, always_true, cmp_inst, lower_op, sink, Emitter, PredPool,
-};
+use crate::linearize::{always_false, always_true, cmp_inst, lower_op, sink, Emitter, PredPool};
 use crate::profile::CfgProfile;
 
 /// Tuning knobs for region formation.
@@ -348,7 +346,9 @@ fn plan_region(
     let mut or_acc: HashSet<BlockId> = HashSet::new();
     pred_of.insert(seed, PredReg::TRUE);
 
-    debug_assert!(members.windows(2).all(|w| pos[w[0].index()] < pos[w[1].index()]));
+    debug_assert!(members
+        .windows(2)
+        .all(|w| pos[w[0].index()] < pos[w[1].index()]));
     for &x in members.iter().filter(|&&b| b != seed) {
         let edges = in_edges.get(&x).map(Vec::as_slice).unwrap_or(&[]);
         debug_assert!(!edges.is_empty(), "non-seed member {x} has an in-edge");
@@ -424,7 +424,13 @@ fn emit_plain_block(
             else_bb,
         } => {
             let p_taken = pool.alloc_rotating();
-            emitter.push(cmp_inst(PredReg::TRUE, CmpType::Norm, cond, p_taken, sink()));
+            emitter.push(cmp_inst(
+                PredReg::TRUE,
+                CmpType::Norm,
+                cond,
+                p_taken,
+                sink(),
+            ));
             emitter.push_branch(p_taken, then_bb, None);
             if next_head != Some(else_bb) {
                 emitter.push_branch(PredReg::TRUE, else_bb, None);
@@ -574,7 +580,13 @@ fn emit_convert(
             emitter.push(cmp_inst(guard, CmpType::Or, &cond.negate(), p_else, sink()));
         }
         (true, false) => {
-            emitter.push(cmp_inst(guard, CmpType::Unc, &cond.negate(), p_else, sink()));
+            emitter.push(cmp_inst(
+                guard,
+                CmpType::Unc,
+                &cond.negate(),
+                p_else,
+                sink(),
+            ));
             emitter.push(cmp_inst(guard, CmpType::Or, cond, p_then, sink()));
         }
         (true, true) => {
@@ -719,7 +731,10 @@ mod tests {
         let cfg = b.finish().unwrap();
         let profile = profile_cfg(&cfg, &mut mem.clone(), &ProfileConfig::default());
         let res = if_convert(&cfg, Some(&profile), &IfConvertConfig::default()).unwrap();
-        assert!(res.stats.branches_converted >= 1, "unbiased diamond converts");
+        assert!(
+            res.stats.branches_converted >= 1,
+            "unbiased diamond converts"
+        );
         assert!(
             res.stats.branches_kept >= 1,
             "biased branch stays as region branch:\n{}",
@@ -800,8 +815,14 @@ mod tests {
         let res = if_convert(&cfg, None, &IfConvertConfig::default()).unwrap();
         let valid_ids: HashSet<u16> = res.regions.iter().map(|r| r.id).collect();
         for (_, inst) in res.program.iter() {
-            if let Op::Br { region: Some(id), .. } = inst.op {
-                assert!(valid_ids.contains(&id), "branch references unknown region {id}");
+            if let Op::Br {
+                region: Some(id), ..
+            } = inst.op
+            {
+                assert!(
+                    valid_ids.contains(&id),
+                    "branch references unknown region {id}"
+                );
             }
         }
     }

@@ -67,9 +67,9 @@ pub use builder::CfgBuilder;
 pub use cfg::{Block, BlockId, Cfg, Cond, MidOp, Terminator};
 pub use dom::Dominators;
 pub use error::CompileError;
-pub use postdom::{control_dependences, PostDominators};
 pub use ifconv::{if_convert, IfConvResult, IfConvStats, IfConvertConfig, RegionInfo};
 pub use linearize::lower;
 pub use loops::{Loop, Loops};
+pub use postdom::{control_dependences, PostDominators};
 pub use profile::{profile_cfg, CfgProfile, ProfileConfig};
 pub use schedule::{hoist_compares, HoistResult};

@@ -140,10 +140,8 @@ impl Emitter {
     /// Emits a branch to `block`, patched once all blocks are bound.
     pub(crate) fn push_branch(&mut self, guard: PredReg, block: BlockId, region: Option<u16>) {
         self.fixups.push((self.insts.len(), block));
-        self.insts.push(Inst::guarded(
-            guard,
-            Op::Br { target: 0, region },
-        ));
+        self.insts
+            .push(Inst::guarded(guard, Op::Br { target: 0, region }));
     }
 
     /// Patches fixups and builds the validated program.

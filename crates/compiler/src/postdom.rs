@@ -252,7 +252,10 @@ mod tests {
         let pdom = PostDominators::compute(&cfg);
         let join = join_of(&cfg);
         for id in cfg.block_ids() {
-            assert!(pdom.post_dominates(join, id), "join must post-dominate {id}");
+            assert!(
+                pdom.post_dominates(join, id),
+                "join must post-dominate {id}"
+            );
         }
     }
 
@@ -330,8 +333,14 @@ mod tests {
         // bb0: halt; bb1: spins to itself (unreachable from entry and
         // cannot reach exit)
         let cfg = Cfg::from_blocks(vec![
-            Block { ops: vec![], term: Terminator::Halt },
-            Block { ops: vec![], term: Terminator::Jump(BlockId_of(1)) },
+            Block {
+                ops: vec![],
+                term: Terminator::Halt,
+            },
+            Block {
+                ops: vec![],
+                term: Terminator::Jump(BlockId_of(1)),
+            },
         ])
         .unwrap();
         let pdom = PostDominators::compute(&cfg);

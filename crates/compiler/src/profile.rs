@@ -277,7 +277,11 @@ mod tests {
         b.while_loop(|_| Cond::new(CmpCond::Eq, r(1), 0), |_| {});
         b.halt();
         let cfg = b.finish().unwrap();
-        let profile = profile_cfg(&cfg, &mut HashMap::new(), &ProfileConfig { max_blocks: 100 });
+        let profile = profile_cfg(
+            &cfg,
+            &mut HashMap::new(),
+            &ProfileConfig { max_blocks: 100 },
+        );
         assert!(!profile.halted());
     }
 

@@ -146,9 +146,7 @@ pub fn hoist_compares(program: &Program) -> HoistResult {
             continue;
         }
         let mut pos = i;
-        while pos > 0
-            && !barriers.contains(&(pos as u32))
-            && may_swap(&insts[pos], &insts[pos - 1])
+        while pos > 0 && !barriers.contains(&(pos as u32)) && may_swap(&insts[pos], &insts[pos - 1])
         {
             insts.swap(pos, pos - 1);
             pos -= 1;
@@ -184,7 +182,11 @@ mod tests {
         .unwrap();
         let hoisted = hoist_compares(&p);
         // the cmp can pass both adds but not the mov that defines r1
-        assert!(hoisted.program.inst(1).unwrap().is_cmp(), "{}", hoisted.program);
+        assert!(
+            hoisted.program.inst(1).unwrap().is_cmp(),
+            "{}",
+            hoisted.program
+        );
         assert_eq!(hoisted.moves, 2);
     }
 
@@ -330,7 +332,12 @@ mod tests {
                             break;
                         }
                     }
-                    Op::Alu { op, dst, src1, src2 } => {
+                    Op::Alu {
+                        op,
+                        dst,
+                        src1,
+                        src2,
+                    } => {
                         if guard && !dst.is_zero() {
                             regs[dst.index() as usize] =
                                 op.eval(regs[src1.index() as usize], src(src2, &regs));
@@ -347,15 +354,29 @@ mod tests {
                             regs[dst.index() as usize] = *mem.get(&addr).unwrap_or(&0);
                         }
                     }
-                    Op::Store { src: s, base, offset } => {
+                    Op::Store {
+                        src: s,
+                        base,
+                        offset,
+                    } => {
                         if guard {
                             let addr = regs[base.index() as usize] + offset as i64;
                             mem.insert(addr, regs[s.index() as usize]);
                         }
                     }
-                    Op::Cmp { ctype, cond, p_true, p_false, src1, src2 } => {
+                    Op::Cmp {
+                        ctype,
+                        cond,
+                        p_true,
+                        p_false,
+                        src1,
+                        src2,
+                    } => {
                         let result = cond.eval(regs[src1.index() as usize], src(src2, &regs));
-                        let old = (preds[p_true.index() as usize], preds[p_false.index() as usize]);
+                        let old = (
+                            preds[p_true.index() as usize],
+                            preds[p_false.index() as usize],
+                        );
                         let new = apply_cmp_type(ctype, guard, result, old);
                         if !p_true.is_always_true() {
                             preds[p_true.index() as usize] = new.0;

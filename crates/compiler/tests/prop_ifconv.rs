@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 
-use predbranch_compiler::{
-    if_convert, lower, Cfg, CfgBuilder, Cond, Dominators, IfConvertConfig,
-};
+use predbranch_compiler::{if_convert, lower, Cfg, CfgBuilder, Cond, Dominators, IfConvertConfig};
 use predbranch_isa::{AluOp, CmpCond, Gpr, Op};
 
 #[derive(Debug, Clone)]
@@ -55,7 +53,9 @@ fn emit(b: &mut CfgBuilder, stmt: &Stmt, depth: u8, counter: &mut u8) {
         Stmt::IfThen(t) => {
             let t = t.clone();
             let mut c1 = *counter;
-            b.if_then(Cond::new(CmpCond::Ge, reg, 2), |b| emit(b, &t, depth, &mut c1));
+            b.if_then(Cond::new(CmpCond::Ge, reg, 2), |b| {
+                emit(b, &t, depth, &mut c1)
+            });
         }
         Stmt::Loop(n, body) => {
             let body = body.clone();

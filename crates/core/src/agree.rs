@@ -159,7 +159,10 @@ mod tests {
                 p.update(&info(pc), outcome, &sb);
             }
         }
-        assert_eq!(wrong, 0, "agree must neutralize aliasing of biased branches");
+        assert_eq!(
+            wrong, 0,
+            "agree must neutralize aliasing of biased branches"
+        );
     }
 
     #[test]

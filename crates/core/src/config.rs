@@ -227,9 +227,7 @@ pub fn build_predictor(spec: &PredictorSpec) -> Box<dyn BranchPredictor> {
             PredictorSpec::Perceptron {
                 index_bits,
                 history_bits,
-            } => Box::new(
-                Pgu::new(Perceptron::new(*index_bits, *history_bits)).with_delay(*delay),
-            ),
+            } => Box::new(Pgu::new(Perceptron::new(*index_bits, *history_bits)).with_delay(*delay)),
             PredictorSpec::Sfpf {
                 base: inner,
                 known_true,
@@ -419,7 +417,9 @@ impl std::str::FromStr for PredictorSpec {
             }
             "bimodal" => {
                 want(1)?;
-                PredictorSpec::Bimodal { index_bits: nums[0] }
+                PredictorSpec::Bimodal {
+                    index_bits: nums[0],
+                }
             }
             "gshare" => {
                 want(2)?;

@@ -55,11 +55,7 @@ impl Gshare {
 
 impl BranchPredictor for Gshare {
     fn name(&self) -> String {
-        format!(
-            "gshare-{}/{}",
-            self.table.index_bits(),
-            self.history.len()
-        )
+        format!("gshare-{}/{}", self.table.index_bits(), self.history.len())
     }
 
     fn predict(&mut self, branch: &BranchInfo, _scoreboard: &PredicateScoreboard) -> bool {

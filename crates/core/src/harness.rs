@@ -4,7 +4,8 @@ use std::collections::HashSet;
 
 use predbranch_isa::{Op, Program};
 use predbranch_sim::{
-    BranchEvent, EventSink, FetchTimeline, PipelineConfig, PredWriteEvent, PredicateScoreboard,
+    BranchEvent, Event, EventSink, FetchTimeline, PipelineConfig, PredWriteEvent,
+    PredicateScoreboard,
 };
 
 use crate::predictor::{BranchInfo, BranchPredictor, PredictionMetrics};
@@ -148,6 +149,19 @@ impl<P: BranchPredictor> PredictionHarness<P> {
     pub fn into_parts(self) -> (P, PredictionMetrics) {
         (self.predictor, self.metrics)
     }
+
+    /// Drives the harness from a buffered event stream — the
+    /// replay-driven counterpart of attaching it to a live
+    /// [`predbranch_sim::Executor`] run. An event stream captured once
+    /// (via [`predbranch_sim::TraceSink`] or a decoded trace file) can
+    /// be fed to any number of harnesses, and yields metrics identical
+    /// to live execution because prediction depends only on the branch
+    /// and predicate-write events.
+    pub fn replay_events<'a>(&mut self, events: impl IntoIterator<Item = &'a Event>) {
+        for event in events {
+            self.event(event);
+        }
+    }
 }
 
 impl<P: BranchPredictor> EventSink for PredictionHarness<P> {
@@ -234,9 +248,11 @@ mod tests {
         halt
     "#;
 
-    fn run<P: BranchPredictor>(src: &str, predictor: P, config: HarnessConfig)
-        -> (PredictionMetrics, RunSummary)
-    {
+    fn run<P: BranchPredictor>(
+        src: &str,
+        predictor: P,
+        config: HarnessConfig,
+    ) -> (PredictionMetrics, RunSummary) {
         let program = assemble(src).unwrap();
         let mut harness = PredictionHarness::new(predictor, config);
         let summary = Executor::new(&program, Memory::new()).run(&mut harness, 1_000_000);
@@ -286,8 +302,7 @@ mod tests {
             insert: InsertFilter::None,
         };
         let program = assemble(LOOP).unwrap();
-        let mut harness =
-            PredictionHarness::new(Pgu::new(Gshare::new(10, 10)), config);
+        let mut harness = PredictionHarness::new(Pgu::new(Gshare::new(10, 10)), config);
         Executor::new(&program, Memory::new()).run(&mut harness, 1_000_000);
         assert_eq!(harness.predictor().inserted_count(), 0);
         assert!(harness.metrics().pred_writes.get() > 0);
@@ -318,10 +333,13 @@ mod tests {
             } else {
                 StaticPredictor::NotTaken
             };
-            let mut harness = PredictionHarness::new(predictor, HarnessConfig {
-                resolve_latency: 64, // keep the filter out of it
-                insert: InsertFilter::All,
-            })
+            let mut harness = PredictionHarness::new(
+                predictor,
+                HarnessConfig {
+                    resolve_latency: 64, // keep the filter out of it
+                    insert: InsertFilter::All,
+                },
+            )
             .with_timeline(predbranch_sim::PipelineConfig::default());
             let summary = Executor::new(&program, Memory::new()).run(&mut harness, 1_000_000);
             assert!(summary.halted);

@@ -68,7 +68,11 @@ impl GlobalHistory {
     /// smaller than the history is long.
     pub fn folded(&self, bits: u32) -> u64 {
         assert!((1..=64).contains(&bits), "fold width must be 1..=64");
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let mut v = self.bits;
         let mut out = 0u64;
         while v != 0 {

@@ -38,8 +38,7 @@ impl<P: BranchPredictor> HotBranches<P> {
     /// Static branches ranked by misprediction count (descending), as
     /// `(pc, counts)` pairs.
     pub fn ranked(&self) -> Vec<(u32, ClassCounts)> {
-        let mut v: Vec<(u32, ClassCounts)> =
-            self.per_pc.iter().map(|(&pc, &c)| (pc, c)).collect();
+        let mut v: Vec<(u32, ClassCounts)> = self.per_pc.iter().map(|(&pc, &c)| (pc, c)).collect();
         v.sort_by(|a, b| {
             b.1.mispredictions
                 .get()
@@ -56,10 +55,7 @@ impl<P: BranchPredictor> HotBranches<P> {
 
     /// Total mispredictions across all branches.
     pub fn total_mispredictions(&self) -> u64 {
-        self.per_pc
-            .values()
-            .map(|c| c.mispredictions.get())
-            .sum()
+        self.per_pc.values().map(|c| c.mispredictions.get()).sum()
     }
 }
 

@@ -67,8 +67,8 @@ mod bimodal;
 mod config;
 mod gshare;
 mod harness;
-mod hot;
 mod history;
+mod hot;
 mod local;
 mod oracle;
 mod perceptron;

@@ -88,7 +88,8 @@ impl BranchPredictor for Local {
         let index = self.pattern_index(branch.pc);
         self.pattern.update(index, taken);
         let slot = self.bht_slot(branch.pc);
-        self.histories[slot] = ((self.histories[slot] << 1) | u64::from(taken)) & self.history_mask();
+        self.histories[slot] =
+            ((self.histories[slot] << 1) | u64::from(taken)) & self.history_mask();
     }
 
     fn storage_bits(&self) -> usize {

@@ -60,7 +60,8 @@ impl BranchPredictor for PerfectGuard {
     fn update(&mut self, _: &BranchInfo, _: bool, _: &PredicateScoreboard) {}
 
     fn on_pred_write(&mut self, write: &PredWriteEvent) {
-        self.values.record_write(write.preg, write.value, write.index);
+        self.values
+            .record_write(write.preg, write.value, write.index);
     }
 
     fn storage_bits(&self) -> usize {

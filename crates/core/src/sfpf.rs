@@ -127,7 +127,11 @@ impl<P> SquashFilter<P> {
 
 impl<P: BranchPredictor> BranchPredictor for SquashFilter<P> {
     fn name(&self) -> String {
-        let mode = if self.use_known_true { "sfpf±" } else { "sfpf" };
+        let mode = if self.use_known_true {
+            "sfpf±"
+        } else {
+            "sfpf"
+        };
         format!("{mode}+{}", self.inner.name())
     }
 
@@ -262,11 +266,23 @@ mod tests {
         sb.record_write(p(2), true, 0);
         let mut f = SquashFilter::new(StaticPredictor::Taken).with_learned_guards(1);
         // two branches aliasing the same table slot with different guards
-        let a = BranchInfo { pc: 0, target: 0, guard: p(1), region: None, index: 10 };
-        let b = BranchInfo { pc: 2, target: 0, guard: p(2), region: None, index: 11 };
+        let a = BranchInfo {
+            pc: 0,
+            target: 0,
+            guard: p(1),
+            region: None,
+            index: 10,
+        };
+        let b = BranchInfo {
+            pc: 2,
+            target: 0,
+            guard: p(2),
+            region: None,
+            index: 11,
+        };
         f.update(&a, false, &sb); // slot learns p1
-        // b aliases the slot but its real guard is p2: the stale entry
-        // must not be used (no filter fire, no wrong squash)
+                                  // b aliases the slot but its real guard is p2: the stale entry
+                                  // must not be used (no filter fire, no wrong squash)
         assert!(f.predict(&b, &sb), "inner decides");
         assert_eq!(f.filtered_count(), 0);
     }

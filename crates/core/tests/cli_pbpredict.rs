@@ -6,7 +6,10 @@ use std::process::Command;
 
 fn scratch(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
-    p.push(format!("predbranch-core-test-{}-{name}", std::process::id()));
+    p.push(format!(
+        "predbranch-core-test-{}-{name}",
+        std::process::id()
+    ));
     p
 }
 
@@ -20,7 +23,11 @@ fn default_predictor_reports_metrics() {
         .arg(src.to_str().unwrap())
         .output()
         .expect("pbpredict runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("predictor:        gshare-13/13"), "{text}");
     assert!(text.contains("cond branches:    101"), "{text}");

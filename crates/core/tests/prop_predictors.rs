@@ -12,20 +12,29 @@ use predbranch_sim::{PredWriteEvent, PredicateScoreboard};
 /// One synthetic dynamic event.
 #[derive(Debug, Clone)]
 enum Ev {
-    Branch { pc: u32, guard: u8, taken: bool, region: bool },
-    Write { pc: u32, preg: u8, value: bool },
+    Branch {
+        pc: u32,
+        guard: u8,
+        taken: bool,
+        region: bool,
+    },
+    Write {
+        pc: u32,
+        preg: u8,
+        value: bool,
+    },
 }
 
 fn arb_event() -> impl Strategy<Value = Ev> {
     prop_oneof![
-        (0u32..64, 1u8..64, any::<bool>(), any::<bool>()).prop_map(
-            |(pc, guard, taken, region)| Ev::Branch {
+        (0u32..64, 1u8..64, any::<bool>(), any::<bool>()).prop_map(|(pc, guard, taken, region)| {
+            Ev::Branch {
                 pc,
                 guard,
                 taken,
                 region,
             }
-        ),
+        }),
         (0u32..64, 1u8..64, any::<bool>()).prop_map(|(pc, preg, value)| Ev::Write {
             pc,
             preg,

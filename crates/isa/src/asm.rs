@@ -136,8 +136,7 @@ fn parse_imm(line: u32, token: &str) -> Result<i32, AsmError> {
 fn parse_src(line: u32, token: &str) -> Result<Src, AsmError> {
     if token.starts_with('r') && token[1..].chars().all(|c| c.is_ascii_digit()) {
         Ok(Src::Reg(parse_gpr(line, token)?))
-    } else if token.starts_with('-') || token.chars().next().is_some_and(|c| c.is_ascii_digit())
-    {
+    } else if token.starts_with('-') || token.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         Ok(Src::Imm(parse_imm(line, token)?))
     } else {
         Err(AsmError::new(
@@ -147,11 +146,7 @@ fn parse_src(line: u32, token: &str) -> Result<Src, AsmError> {
     }
 }
 
-fn parse_target(
-    line: u32,
-    token: &str,
-    labels: &BTreeMap<String, u32>,
-) -> Result<u32, AsmError> {
+fn parse_target(line: u32, token: &str, labels: &BTreeMap<String, u32>) -> Result<u32, AsmError> {
     if let Some(abs) = token.strip_prefix('@') {
         return abs
             .parse::<u32>()
@@ -169,8 +164,14 @@ fn split_assign(line: u32, text: &str) -> Result<(Vec<&str>, Vec<&str>), AsmErro
         .split_once('=')
         .ok_or_else(|| malformed(line, format!("expected `=` in `{text}`")))?;
     Ok((
-        lhs.split(',').map(str::trim).filter(|s| !s.is_empty()).collect(),
-        rhs.split(',').map(str::trim).filter(|s| !s.is_empty()).collect(),
+        lhs.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect(),
+        rhs.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect(),
     ))
 }
 
@@ -194,11 +195,7 @@ fn parse_mem(line: u32, token: &str) -> Result<(Gpr, i32), AsmError> {
     }
 }
 
-fn parse_inst(
-    line: u32,
-    text: &str,
-    labels: &BTreeMap<String, u32>,
-) -> Result<Inst, AsmError> {
+fn parse_inst(line: u32, text: &str, labels: &BTreeMap<String, u32>) -> Result<Inst, AsmError> {
     // Optional guard prefix.
     let (guard, rest) = if let Some(after) = text.strip_prefix('(') {
         let close = after
@@ -276,12 +273,12 @@ fn parse_inst(
                 Some((c, t)) => (c, t),
                 None => (suffix, ""),
             };
-            let cond: CmpCond = cond_str.parse().map_err(|_| {
-                AsmError::new(line, AsmErrorKind::UnknownMnemonic(m.to_string()))
-            })?;
-            let ctype: CmpType = ctype_str.parse().map_err(|_| {
-                AsmError::new(line, AsmErrorKind::UnknownMnemonic(m.to_string()))
-            })?;
+            let cond: CmpCond = cond_str
+                .parse()
+                .map_err(|_| AsmError::new(line, AsmErrorKind::UnknownMnemonic(m.to_string())))?;
+            let ctype: CmpType = ctype_str
+                .parse()
+                .map_err(|_| AsmError::new(line, AsmErrorKind::UnknownMnemonic(m.to_string())))?;
             let (lhs, rhs) = split_assign(line, operands)?;
             if lhs.len() != 2 || rhs.len() != 2 {
                 return Err(malformed(

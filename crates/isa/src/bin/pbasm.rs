@@ -29,20 +29,18 @@ fn main() -> ExitCode {
     };
     match mode {
         "asm" => match assemble(&text) {
-            Ok(program) => {
-                match encode_program(&program) {
-                    Ok(words) => {
-                        for word in words {
-                            println!("{word:016x}");
-                        }
-                        ExitCode::SUCCESS
+            Ok(program) => match encode_program(&program) {
+                Ok(words) => {
+                    for word in words {
+                        println!("{word:016x}");
                     }
-                    Err(e) => {
-                        eprintln!("pbasm: encode error: {e}");
-                        ExitCode::FAILURE
-                    }
+                    ExitCode::SUCCESS
                 }
-            }
+                Err(e) => {
+                    eprintln!("pbasm: encode error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
             Err(e) => {
                 eprintln!("pbasm: {path}: {e}");
                 ExitCode::FAILURE

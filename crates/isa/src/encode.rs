@@ -151,8 +151,8 @@ pub fn encode(inst: &Inst) -> Result<u64, EncodeError> {
                     put(&mut w, 36, 6, s.index() as u64);
                 }
                 Src::Imm(imm) => {
-                    let imm16 = i16::try_from(imm)
-                        .map_err(|_| EncodeError::CmpImmOutOfRange { imm })?;
+                    let imm16 =
+                        i16::try_from(imm).map_err(|_| EncodeError::CmpImmOutOfRange { imm })?;
                     put(&mut w, 6, 6, OP_CMP_I as u64);
                     common(&mut w);
                     put(&mut w, 36, 16, imm16 as u16 as u64);
@@ -308,14 +308,49 @@ mod tests {
         let shapes = vec![
             Inst::new(Op::Nop),
             Inst::guarded(p(63), Op::Halt),
-            Inst::new(Op::Br { target: 0, region: None }),
-            Inst::guarded(p(5), Op::Br { target: u32::MAX, region: None }),
-            Inst::guarded(p(5), Op::Br { target: 1234, region: Some(u16::MAX) }),
-            Inst::new(Op::Mov { dst: r(63), src: Src::Reg(r(1)) }),
-            Inst::new(Op::Mov { dst: r(1), src: Src::Imm(i32::MIN) }),
-            Inst::new(Op::Mov { dst: r(1), src: Src::Imm(i32::MAX) }),
-            Inst::guarded(p(7), Op::Load { dst: r(2), base: r(3), offset: -1 }),
-            Inst::new(Op::Store { src: r(9), base: r(10), offset: i32::MAX }),
+            Inst::new(Op::Br {
+                target: 0,
+                region: None,
+            }),
+            Inst::guarded(
+                p(5),
+                Op::Br {
+                    target: u32::MAX,
+                    region: None,
+                },
+            ),
+            Inst::guarded(
+                p(5),
+                Op::Br {
+                    target: 1234,
+                    region: Some(u16::MAX),
+                },
+            ),
+            Inst::new(Op::Mov {
+                dst: r(63),
+                src: Src::Reg(r(1)),
+            }),
+            Inst::new(Op::Mov {
+                dst: r(1),
+                src: Src::Imm(i32::MIN),
+            }),
+            Inst::new(Op::Mov {
+                dst: r(1),
+                src: Src::Imm(i32::MAX),
+            }),
+            Inst::guarded(
+                p(7),
+                Op::Load {
+                    dst: r(2),
+                    base: r(3),
+                    offset: -1,
+                },
+            ),
+            Inst::new(Op::Store {
+                src: r(9),
+                base: r(10),
+                offset: i32::MAX,
+            }),
             Inst::new(Op::Cmp {
                 ctype: CmpType::OrAndcm,
                 cond: CmpCond::Ge,
@@ -426,8 +461,17 @@ mod tests {
     #[test]
     fn program_roundtrip() {
         let program = Program::new(vec![
-            Inst::new(Op::Mov { dst: r(1), src: Src::Imm(5) }),
-            Inst::guarded(p(1), Op::Br { target: 0, region: Some(2) }),
+            Inst::new(Op::Mov {
+                dst: r(1),
+                src: Src::Imm(5),
+            }),
+            Inst::guarded(
+                p(1),
+                Op::Br {
+                    target: 0,
+                    region: Some(2),
+                },
+            ),
             Inst::new(Op::Halt),
         ])
         .unwrap();

@@ -282,7 +282,13 @@ impl Inst {
 
     /// Whether this is a region-based branch.
     pub fn is_region_branch(&self) -> bool {
-        matches!(self.op, Op::Br { region: Some(_), .. })
+        matches!(
+            self.op,
+            Op::Br {
+                region: Some(_),
+                ..
+            }
+        )
     }
 
     /// Whether this is a compare-to-predicate instruction.
@@ -305,9 +311,7 @@ impl Inst {
             } => [Some(p_true), Some(p_false)],
             _ => [None, None],
         };
-        pair.into_iter()
-            .flatten()
-            .filter(|p| !p.is_always_true())
+        pair.into_iter().flatten().filter(|p| !p.is_always_true())
     }
 }
 
@@ -337,10 +341,7 @@ impl fmt::Display for Inst {
                 if ctype.mnemonic().is_empty() {
                     write!(f, "cmp.{cond} {p_true}, {p_false} = {src1}, {src2}")
                 } else {
-                    write!(
-                        f,
-                        "cmp.{cond}.{ctype} {p_true}, {p_false} = {src1}, {src2}"
-                    )
+                    write!(f, "cmp.{cond}.{ctype} {p_true}, {p_false} = {src1}, {src2}")
                 }
             }
             Op::Br { target, region } => match region {
@@ -392,16 +393,31 @@ mod tests {
 
     #[test]
     fn inst_classification() {
-        let br = Inst::guarded(p(1), Op::Br { target: 0, region: None });
+        let br = Inst::guarded(
+            p(1),
+            Op::Br {
+                target: 0,
+                region: None,
+            },
+        );
         assert!(br.is_branch());
         assert!(br.is_conditional_branch());
         assert!(!br.is_region_branch());
 
-        let ubr = Inst::new(Op::Br { target: 0, region: None });
+        let ubr = Inst::new(Op::Br {
+            target: 0,
+            region: None,
+        });
         assert!(ubr.is_branch());
         assert!(!ubr.is_conditional_branch());
 
-        let rbr = Inst::guarded(p(2), Op::Br { target: 0, region: Some(7) });
+        let rbr = Inst::guarded(
+            p(2),
+            Op::Br {
+                target: 0,
+                region: Some(7),
+            },
+        );
         assert!(rbr.is_region_branch());
 
         let nop = Inst::new(Op::Nop);
@@ -446,19 +462,36 @@ mod tests {
     fn display_formats_every_shape() {
         let cases: Vec<(Inst, &str)> = vec![
             (
-                Inst::new(Op::Mov { dst: r(1), src: Src::Imm(-7) }),
+                Inst::new(Op::Mov {
+                    dst: r(1),
+                    src: Src::Imm(-7),
+                }),
                 "mov r1 = -7",
             ),
             (
-                Inst::new(Op::Mov { dst: r(1), src: Src::Reg(r(2)) }),
+                Inst::new(Op::Mov {
+                    dst: r(1),
+                    src: Src::Reg(r(2)),
+                }),
                 "mov r1 = r2",
             ),
             (
-                Inst::guarded(p(5), Op::Load { dst: r(2), base: r(3), offset: 16 }),
+                Inst::guarded(
+                    p(5),
+                    Op::Load {
+                        dst: r(2),
+                        base: r(3),
+                        offset: 16,
+                    },
+                ),
                 "(p5) ld r2 = [r3 + 16]",
             ),
             (
-                Inst::new(Op::Store { src: r(2), base: r(3), offset: -8 }),
+                Inst::new(Op::Store {
+                    src: r(2),
+                    base: r(3),
+                    offset: -8,
+                }),
                 "st [r3 + -8] = r2",
             ),
             (
@@ -484,10 +517,22 @@ mod tests {
                 "cmp.eq p1, p2 = r4, 3",
             ),
             (
-                Inst::guarded(p(9), Op::Br { target: 12, region: Some(2) }),
+                Inst::guarded(
+                    p(9),
+                    Op::Br {
+                        target: 12,
+                        region: Some(2),
+                    },
+                ),
                 "(p9) br.region 2, @12",
             ),
-            (Inst::new(Op::Br { target: 3, region: None }), "br @3"),
+            (
+                Inst::new(Op::Br {
+                    target: 3,
+                    region: None,
+                }),
+                "br @3",
+            ),
             (Inst::new(Op::Halt), "halt"),
             (Inst::guarded(p(1), Op::Nop), "(p1) nop"),
         ];

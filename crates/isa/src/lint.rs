@@ -51,9 +51,7 @@ impl fmt::Display for Lint {
                 write!(f, "pc {pc}: compare writes p0, which ignores writes")
             }
             Lint::Unreachable { pc } => write!(f, "pc {pc}: unreachable instruction"),
-            Lint::MayFallOffEnd => {
-                f.write_str("execution may fall off the end of the program")
-            }
+            Lint::MayFallOffEnd => f.write_str("execution may fall off the end of the program"),
         }
     }
 }
@@ -186,8 +184,7 @@ mod tests {
 
     #[test]
     fn code_after_guarded_branch_is_reachable() {
-        let p = assemble("cmp.eq p1, p2 = r0, r0\n (p1) br end\n mov r1 = 1\nend: halt")
-            .unwrap();
+        let p = assemble("cmp.eq p1, p2 = r0, r0\n (p1) br end\n mov r1 = 1\nend: halt").unwrap();
         let lints = lint_program(&p);
         assert!(!lints.iter().any(|l| matches!(l, Lint::Unreachable { .. })));
     }

@@ -194,12 +194,7 @@ impl FromStr for CmpType {
 /// // unc under a false guard clears both
 /// assert_eq!(apply_cmp_type(CmpType::Unc, false, true, (true, true)), (false, false));
 /// ```
-pub fn apply_cmp_type(
-    ctype: CmpType,
-    qp: bool,
-    result: bool,
-    old: (bool, bool),
-) -> (bool, bool) {
+pub fn apply_cmp_type(ctype: CmpType, qp: bool, result: bool, old: (bool, bool)) -> (bool, bool) {
     match ctype {
         CmpType::Norm => {
             if qp {

@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn branch_out_of_range_rejected() {
         let err = Program::new(vec![
-            Inst::new(Op::Br { target: 5, region: None }),
+            Inst::new(Op::Br {
+                target: 5,
+                region: None,
+            }),
             halt(),
         ])
         .unwrap_err();
@@ -213,7 +216,10 @@ mod tests {
     #[test]
     fn branch_to_last_instruction_allowed() {
         let p = Program::new(vec![
-            Inst::new(Op::Br { target: 1, region: None }),
+            Inst::new(Op::Br {
+                target: 1,
+                region: None,
+            }),
             halt(),
         ])
         .unwrap();
@@ -253,8 +259,17 @@ mod tests {
                     src2: Src::Imm(1),
                 },
             ),
-            Inst::guarded(p1, Op::Br { target: 0, region: Some(3) }),
-            Inst::new(Op::Br { target: 4, region: None }),
+            Inst::guarded(
+                p1,
+                Op::Br {
+                    target: 0,
+                    region: Some(3),
+                },
+            ),
+            Inst::new(Op::Br {
+                target: 4,
+                region: None,
+            }),
             halt(),
         ])
         .unwrap();

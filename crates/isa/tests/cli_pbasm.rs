@@ -21,7 +21,11 @@ fn asm_disasm_roundtrip_through_the_binary() {
         .args(["asm", src.to_str().unwrap()])
         .output()
         .expect("pbasm runs");
-    assert!(asm.status.success(), "{}", String::from_utf8_lossy(&asm.stderr));
+    assert!(
+        asm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&asm.stderr)
+    );
     let hex = String::from_utf8(asm.stdout).unwrap();
     assert_eq!(hex.lines().count(), 5);
 

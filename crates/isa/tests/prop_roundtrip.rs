@@ -49,12 +49,22 @@ fn arb_op(max_target: u32) -> impl Strategy<Value = Op> {
         (0..max_target, prop::option::of(any::<u16>()))
             .prop_map(|(target, region)| Op::Br { target, region }),
         (arb_gpr(), arb_src()).prop_map(|(dst, src)| Op::Mov { dst, src }),
-        (arb_gpr(), arb_gpr(), any::<i32>())
-            .prop_map(|(dst, base, offset)| Op::Load { dst, base, offset }),
-        (arb_gpr(), arb_gpr(), any::<i32>())
-            .prop_map(|(src, base, offset)| Op::Store { src, base, offset }),
-        (arb_alu_op(), arb_gpr(), arb_gpr(), arb_src())
-            .prop_map(|(op, dst, src1, src2)| Op::Alu { op, dst, src1, src2 }),
+        (arb_gpr(), arb_gpr(), any::<i32>()).prop_map(|(dst, base, offset)| Op::Load {
+            dst,
+            base,
+            offset
+        }),
+        (arb_gpr(), arb_gpr(), any::<i32>()).prop_map(|(src, base, offset)| Op::Store {
+            src,
+            base,
+            offset
+        }),
+        (arb_alu_op(), arb_gpr(), arb_gpr(), arb_src()).prop_map(|(op, dst, src1, src2)| Op::Alu {
+            op,
+            dst,
+            src1,
+            src2
+        }),
         (
             arb_cmp_type(),
             arb_cmp_cond(),

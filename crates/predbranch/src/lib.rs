@@ -13,7 +13,9 @@
 //! * [`core`] — the paper's predictors: the squash false-path filter and
 //!   the predicate global-update predictor, over conventional baselines;
 //! * [`workloads`] — eleven SPECint-2000-analog benchmarks;
-//! * [`stats`] — counters, histograms, and table/series rendering.
+//! * [`stats`] — counters, histograms, and table/series rendering;
+//! * [`trace`] — binary trace record/replay with an on-disk trace
+//!   cache, so sweeps execute each (binary, input) once.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub use predbranch_core as core;
 pub use predbranch_isa as isa;
 pub use predbranch_sim as sim;
 pub use predbranch_stats as stats;
+pub use predbranch_trace as trace;
 pub use predbranch_workloads as workloads;
 
 /// Everything a typical experiment needs, in one import.
@@ -75,6 +78,7 @@ pub mod prelude {
     pub use predbranch_isa::{assemble, Gpr, PredReg, Program};
     pub use predbranch_sim::{Executor, Memory, PipelineConfig};
     pub use predbranch_stats::{Cell, Series, Table};
+    pub use predbranch_trace::{CacheKey, TraceCache, TraceReader, TraceWriter};
     pub use predbranch_workloads::{
         compile_benchmark, suite, CompileOptions, EVAL_SEED, TRAIN_SEED,
     };

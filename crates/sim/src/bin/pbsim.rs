@@ -69,9 +69,7 @@ fn main() -> ExitCode {
         let insts = words
             .map_err(|e| e.to_string())
             .and_then(|w| predbranch_isa::decode_program(&w).map_err(|e| e.to_string()))
-            .and_then(|insts| {
-                predbranch_isa::Program::new(insts).map_err(|e| e.to_string())
-            });
+            .and_then(|insts| predbranch_isa::Program::new(insts).map_err(|e| e.to_string()));
         match insts {
             Ok(p) => p,
             Err(e) => {

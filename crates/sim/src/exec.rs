@@ -356,10 +356,7 @@ mod tests {
         );
         assert!(!state.pred(PredReg::new(3).unwrap()));
         assert!(!state.pred(PredReg::new(4).unwrap()));
-        let clearing: Vec<_> = trace
-            .pred_writes()
-            .filter(|w| w.pc == 2)
-            .collect();
+        let clearing: Vec<_> = trace.pred_writes().filter(|w| w.pc == 2).collect();
         assert_eq!(clearing.len(), 2);
         assert!(clearing.iter().all(|w| !w.value));
     }

@@ -117,7 +117,8 @@ impl EventSink for ExecMetrics {
 
     fn pred_write(&mut self, event: &PredWriteEvent) {
         self.pred_writes.increment();
-        self.last_writes.record_write(event.preg, event.value, event.index);
+        self.last_writes
+            .record_write(event.preg, event.value, event.index);
     }
 }
 

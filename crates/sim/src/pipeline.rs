@@ -335,7 +335,10 @@ mod tests {
         }
         assert_eq!(frag.cycles(), 8); // 4 fragments + 4 bubbles
         let closed = PipelineModel::estimate(&config(), 4, 0, 4);
-        assert!(frag.cycles() > closed.cycles(), "fragmentation must cost more");
+        assert!(
+            frag.cycles() > closed.cycles(),
+            "fragmentation must cost more"
+        );
     }
 
     #[test]

@@ -99,9 +99,11 @@ impl PredicateScoreboard {
     /// what lets the squash false-path filter kill every branch on the
     /// false path, however close its own defining compare is.
     pub fn observe(&mut self, event: &crate::trace::PredWriteEvent) {
-        let immediate = !event.guard_value
-            && self.query(event.guard, event.index).is_known_false();
-        debug_assert!(event.guard_value || !event.value, "false-guard writes clear");
+        let immediate = !event.guard_value && self.query(event.guard, event.index).is_known_false();
+        debug_assert!(
+            event.guard_value || !event.value,
+            "false-guard writes clear"
+        );
         self.record(event.preg, event.value, event.index, immediate);
     }
 

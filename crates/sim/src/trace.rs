@@ -61,6 +61,25 @@ pub enum Event {
     PredWrite(PredWriteEvent),
 }
 
+impl Event {
+    /// Dynamic instruction index of the instruction that produced the
+    /// event (fetch order).
+    pub fn index(&self) -> u64 {
+        match self {
+            Event::Branch(b) => b.index,
+            Event::PredWrite(p) => p.index,
+        }
+    }
+
+    /// Static pc of the instruction that produced the event.
+    pub fn pc(&self) -> u32 {
+        match self {
+            Event::Branch(b) => b.pc,
+            Event::PredWrite(p) => p.pc,
+        }
+    }
+}
+
 /// A consumer of the executor's event stream.
 ///
 /// Implementations update predictors, scoreboards, and metric counters as
@@ -77,6 +96,16 @@ pub trait EventSink {
     /// predicate-write event it produces (default: ignored). Timing
     /// sinks use this to account fetch slots.
     fn instruction(&mut self, _pc: u32, _index: u64) {}
+
+    /// Dispatches an already-materialized [`Event`] to the matching
+    /// callback — the entry point replay drivers (trace readers,
+    /// buffered [`TraceSink`] playback) use.
+    fn event(&mut self, event: &Event) {
+        match event {
+            Event::Branch(b) => self.branch(b),
+            Event::PredWrite(p) => self.pred_write(p),
+        }
+    }
 }
 
 /// A sink that discards all events.
@@ -157,6 +186,11 @@ impl<A: EventSink, B: EventSink> EventSink for (A, B) {
         self.0.instruction(pc, index);
         self.1.instruction(pc, index);
     }
+
+    fn event(&mut self, event: &Event) {
+        self.0.event(event);
+        self.1.event(event);
+    }
 }
 
 impl<S: EventSink + ?Sized> EventSink for &mut S {
@@ -170,6 +204,10 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
 
     fn instruction(&mut self, pc: u32, index: u64) {
         (**self).instruction(pc, index);
+    }
+
+    fn event(&mut self, event: &Event) {
+        (**self).event(event);
     }
 }
 

@@ -20,7 +20,11 @@ fn runs_assembly_and_reports_summary() {
         .args([src.to_str().unwrap(), "--latency", "2"])
         .output()
         .expect("pbsim runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("halted:              true"), "{text}");
     assert!(text.contains("region-based:      8"), "{text}");
@@ -54,7 +58,11 @@ fn hex_mode_executes_encoded_words() {
         .args([path.to_str().unwrap(), "--hex"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("halted:              true"), "{text}");
     fs::remove_file(path).ok();

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use predbranch_isa::{
-    AluOp, CmpCond, CmpType, Gpr, Inst, Op, PredReg, Program, Src,
-};
+use predbranch_isa::{AluOp, CmpCond, CmpType, Gpr, Inst, Op, PredReg, Program, Src};
 use predbranch_sim::{Executor, Memory, NullSink, TraceSink};
 
 fn arb_gpr() -> impl Strategy<Value = Gpr> {
@@ -19,23 +17,40 @@ fn arb_op(len: u32) -> impl Strategy<Value = Op> {
     prop_oneof![
         Just(Op::Nop),
         Just(Op::Halt),
-        (0..len).prop_map(|target| Op::Br { target, region: None }),
+        (0..len).prop_map(|target| Op::Br {
+            target,
+            region: None
+        }),
         (0..len, any::<bool>()).prop_map(|(target, tag)| Op::Br {
             target,
             region: tag.then_some(1),
         }),
-        (arb_gpr(), -100i32..100).prop_map(|(dst, imm)| Op::Mov { dst, src: Src::Imm(imm) }),
+        (arb_gpr(), -100i32..100).prop_map(|(dst, imm)| Op::Mov {
+            dst,
+            src: Src::Imm(imm)
+        }),
         (
             prop::sample::select(AluOp::ALL.to_vec()),
             arb_gpr(),
             arb_gpr(),
             -8i32..8
         )
-            .prop_map(|(op, dst, src1, imm)| Op::Alu { op, dst, src1, src2: Src::Imm(imm) }),
-        (arb_gpr(), arb_gpr(), 0i32..64)
-            .prop_map(|(dst, base, offset)| Op::Load { dst, base, offset }),
-        (arb_gpr(), arb_gpr(), 0i32..64)
-            .prop_map(|(src, base, offset)| Op::Store { src, base, offset }),
+            .prop_map(|(op, dst, src1, imm)| Op::Alu {
+                op,
+                dst,
+                src1,
+                src2: Src::Imm(imm)
+            }),
+        (arb_gpr(), arb_gpr(), 0i32..64).prop_map(|(dst, base, offset)| Op::Load {
+            dst,
+            base,
+            offset
+        }),
+        (arb_gpr(), arb_gpr(), 0i32..64).prop_map(|(src, base, offset)| Op::Store {
+            src,
+            base,
+            offset
+        }),
         (
             prop::sample::select(CmpType::ALL.to_vec()),
             prop::sample::select(CmpCond::ALL.to_vec()),
@@ -57,9 +72,7 @@ fn arb_op(len: u32) -> impl Strategy<Value = Op> {
 
 fn arb_program() -> impl Strategy<Value = Program> {
     (2u32..40)
-        .prop_flat_map(|len| {
-            prop::collection::vec((arb_pred(), arb_op(len)), len as usize)
-        })
+        .prop_flat_map(|len| prop::collection::vec((arb_pred(), arb_op(len)), len as usize))
         .prop_map(|pairs| {
             let mut insts: Vec<Inst> = pairs
                 .into_iter()

@@ -227,7 +227,9 @@ mod tests {
     #[test]
     fn confidence_interval_shrinks_with_samples() {
         let small: Summary = [1.0, 2.0, 3.0].into_iter().collect();
-        let large: Summary = std::iter::repeat_n([1.0, 2.0, 3.0], 100).flatten().collect();
+        let large: Summary = std::iter::repeat_n([1.0, 2.0, 3.0], 100)
+            .flatten()
+            .collect();
         assert!(large.confidence95() < small.confidence95());
     }
 

@@ -1,0 +1,251 @@
+//! `pbtrace` — record, inspect, and verify predbranch trace files.
+//!
+//! ```text
+//! pbtrace record --bench <name> -o <file.pbt> [--plain] [--hoist]
+//!                [--seed N] [--budget N]
+//! pbtrace record <file.s> -o <file.pbt> [--seed N] [--budget N]
+//! pbtrace info   <file.pbt>
+//! pbtrace dump   <file.pbt> [--limit N]
+//! pbtrace verify <file.pbt>
+//! pbtrace list
+//! ```
+//!
+//! `record` compiles a suite benchmark (or assembles a `.s` file) and
+//! executes it once, streaming the event trace to disk. `info` prints
+//! the provenance header and footer statistics, `dump` prints events as
+//! text, `verify` fully checks structure, event count, and checksum.
+
+use std::fs;
+use std::process::ExitCode;
+
+use predbranch_isa::{assemble, Program};
+use predbranch_sim::{Event, Executor, Memory};
+use predbranch_trace::{program_hash, TraceHeader, TraceReader, TraceWriter};
+use predbranch_workloads::{compile_benchmark, suite, CompileOptions, EVAL_SEED};
+
+const USAGE: &str = "usage:
+  pbtrace record --bench <name> -o <file.pbt> [--plain] [--hoist] [--seed N] [--budget N]
+  pbtrace record <file.s> -o <file.pbt> [--seed N] [--budget N]
+  pbtrace info   <file.pbt>
+  pbtrace dump   <file.pbt> [--limit N]
+  pbtrace verify <file.pbt>
+  pbtrace list";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("dump") => dump(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        Some("list") => {
+            for bench in suite() {
+                println!("{:<12} {}", bench.name(), bench.description());
+            }
+            Ok(())
+        }
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pbtrace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn record(args: &[String]) -> Result<(), String> {
+    let mut bench_name: Option<String> = None;
+    let mut asm_path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut seed = EVAL_SEED;
+    let mut budget = 2 * predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
+    let mut plain = false;
+    let mut hoist = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => bench_name = Some(take(&mut it, "--bench")?),
+            "-o" | "--out" => out = Some(take(&mut it, "-o")?),
+            "--seed" => seed = parse(&take(&mut it, "--seed")?)?,
+            "--budget" => budget = parse(&take(&mut it, "--budget")?)?,
+            "--plain" => plain = true,
+            "--hoist" => hoist = true,
+            path if !path.starts_with('-') && asm_path.is_none() => {
+                asm_path = Some(path.to_string());
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    let out = out.ok_or_else(|| format!("record needs -o <file.pbt>\n{USAGE}"))?;
+
+    let (name, program, memory) = match (bench_name, asm_path) {
+        (Some(name), None) => {
+            let bench = suite()
+                .into_iter()
+                .find(|b| b.name() == name)
+                .ok_or_else(|| format!("unknown benchmark {name} (try `pbtrace list`)"))?;
+            let opts = CompileOptions {
+                hoist,
+                ..CompileOptions::default()
+            };
+            let compiled = compile_benchmark(&bench, &opts);
+            let program = if plain {
+                compiled.plain
+            } else {
+                compiled.predicated
+            };
+            let variant = if plain { "plain" } else { "pred" };
+            println!(
+                "compiled {} ({variant}, options fingerprint {:016x})",
+                bench.name(),
+                opts.fingerprint()
+            );
+            let label = bench.trace_label(variant, seed);
+            (label, program, bench.input(seed))
+        }
+        (None, Some(path)) => {
+            let text = fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let program = assemble(&text).map_err(|e| format!("{path}: {e}"))?;
+            let name = path
+                .rsplit('/')
+                .next()
+                .unwrap_or(&path)
+                .trim_end_matches(".s")
+                .to_string();
+            (name, program, Memory::new())
+        }
+        _ => return Err(format!("record needs --bench <name> or <file.s>\n{USAGE}")),
+    };
+
+    let summary = record_program(&name, &program, memory, seed, budget, &out)
+        .map_err(|e| format!("recording {out}: {e}"))?;
+    println!(
+        "recorded {out}: {} instructions, {} branches ({} conditional), {} pred writes{}",
+        summary.instructions,
+        summary.branches,
+        summary.conditional_branches,
+        summary.pred_writes,
+        if summary.halted { "" } else { " [budget hit]" },
+    );
+    Ok(())
+}
+
+fn record_program(
+    name: &str,
+    program: &Program,
+    memory: Memory,
+    seed: u64,
+    budget: u64,
+    out: &str,
+) -> std::io::Result<predbranch_sim::RunSummary> {
+    let header = TraceHeader::new(name, program_hash(program), seed, budget);
+    let mut writer = TraceWriter::create(out, &header)?;
+    let summary = Executor::new(program, memory).run(&mut writer, budget);
+    writer.finish(&summary)?;
+    Ok(summary)
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let path = one_path(args)?;
+    let reader = TraceReader::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let header = reader.header().clone();
+    println!("file:          {path}");
+    println!("format:        PBTR v{}", predbranch_trace::FORMAT_VERSION);
+    println!("benchmark:     {}", header.name);
+    println!("program hash:  {:016x}", header.program_hash);
+    println!("input seed:    {:#x}", header.seed);
+    println!("budget:        {}", header.budget);
+    let stats = reader.verify().map_err(|e| format!("{path}: {e}"))?;
+    println!("events:        {}", stats.events);
+    println!(
+        "  branches:    {} ({} conditional, {} region)",
+        stats.branches, stats.summary.conditional_branches, stats.summary.region_branches
+    );
+    println!("  pred writes: {}", stats.pred_writes);
+    println!("instructions:  {}", stats.summary.instructions);
+    println!("halted:        {}", stats.summary.halted);
+    println!("checksum:      {:016x}", stats.checksum);
+    Ok(())
+}
+
+fn dump(args: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut limit = u64::MAX;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--limit" => limit = parse(&take(&mut it, "--limit")?)?,
+            p if !p.starts_with('-') && path.is_none() => path = Some(p.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or_else(|| format!("dump needs a file\n{USAGE}"))?;
+    let reader = TraceReader::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let (events, stats) = reader.read_events().map_err(|e| format!("{path}: {e}"))?;
+    for event in events.iter().take(limit as usize) {
+        match event {
+            Event::Branch(b) => println!(
+                "{:>10}  branch     pc={:<6} target={:<6} {} {}{}",
+                b.index,
+                b.pc,
+                b.target,
+                if b.taken { "taken    " } else { "not-taken" },
+                if b.conditional {
+                    format!("guard={}", b.guard)
+                } else {
+                    "uncond".into()
+                },
+                b.region.map_or(String::new(), |r| format!(" region={r}")),
+            ),
+            Event::PredWrite(p) => println!(
+                "{:>10}  pred-write pc={:<6} {}={} (guard {}={})",
+                p.index, p.pc, p.preg, p.value as u8, p.guard, p.guard_value as u8,
+            ),
+        }
+    }
+    if (events.len() as u64) > limit {
+        println!("... {} more events", events.len() as u64 - limit);
+    }
+    println!(
+        "{} events, {} instructions, checksum {:016x}",
+        stats.events, stats.summary.instructions, stats.checksum
+    );
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let path = one_path(args)?;
+    let reader = TraceReader::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let name = reader.header().name.clone();
+    let stats = reader
+        .verify()
+        .map_err(|e| format!("{path}: FAILED: {e}"))?;
+    println!(
+        "{path}: OK ({name}, {} events, checksum {:016x})",
+        stats.events, stats.checksum
+    );
+    Ok(())
+}
+
+fn one_path(args: &[String]) -> Result<String, String> {
+    match args {
+        [path] if !path.starts_with('-') => Ok(path.clone()),
+        _ => Err(format!("expected exactly one trace file\n{USAGE}")),
+    }
+}
+
+fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}
+
+fn parse(s: &str) -> Result<u64, String> {
+    let (s, radix) = match s.strip_prefix("0x") {
+        Some(hex) => (hex, 16),
+        None => (s, 10),
+    };
+    u64::from_str_radix(s, radix).map_err(|e| format!("bad number {s}: {e}"))
+}

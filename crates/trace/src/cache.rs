@@ -1,0 +1,346 @@
+//! Content-addressed on-disk trace cache.
+//!
+//! Experiment sweeps evaluate many predictor configurations over the same
+//! (binary, input) pairs; the cache lets each pair be executed through
+//! the functional simulator exactly once and replayed thereafter. Keys
+//! are content hashes (program encoding + input memory + budget, or an
+//! explicit benchmark/compile-options/seed identity), so a stale file
+//! can never be replayed for the wrong run. Writes go to a temporary
+//! file in the cache directory and are published with an atomic rename —
+//! concurrent runs may duplicate work but never observe a partial trace.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use predbranch_isa::Program;
+use predbranch_sim::{EventSink, Executor, Memory, RunSummary};
+
+use crate::error::TraceError;
+use crate::format::{memory_fingerprint, program_hash, Fnv64, TraceHeader};
+use crate::reader::TraceReader;
+use crate::writer::TraceWriter;
+
+/// Identifies one recorded run: a human-readable label plus a content
+/// digest. Equal keys ⇒ identical event streams.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    label: String,
+    digest: u64,
+}
+
+impl CacheKey {
+    /// A key from an explicit label and digest (e.g. a
+    /// `predbranch_workloads::TraceId` digest).
+    pub fn new(label: impl AsRef<str>, digest: u64) -> Self {
+        let label: String = label
+            .as_ref()
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .take(64)
+            .collect();
+        CacheKey {
+            label: if label.is_empty() {
+                "trace".into()
+            } else {
+                label
+            },
+            digest,
+        }
+    }
+
+    /// A fully content-addressed key: hash of the program's binary
+    /// encoding, the input memory image, and the instruction budget.
+    pub fn for_run(
+        label: impl AsRef<str>,
+        program: &Program,
+        memory: &Memory,
+        budget: u64,
+    ) -> Self {
+        let mut digest = Fnv64::new();
+        digest.update_u64(program_hash(program));
+        digest.update_u64(memory_fingerprint(memory));
+        digest.update_u64(budget);
+        CacheKey::new(label, digest.digest())
+    }
+
+    /// The key's digest.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The file name this key maps to.
+    pub fn file_name(&self) -> String {
+        format!("{}-{:016x}.pbt", self.label, self.digest)
+    }
+}
+
+/// A directory of sealed trace files, one per [`CacheKey`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use predbranch_sim::NullSink;
+/// use predbranch_trace::{CacheKey, TraceCache};
+///
+/// let cache = TraceCache::open("/tmp/pbt-cache").unwrap();
+/// let program = predbranch_isa::assemble("halt").unwrap();
+/// let memory = predbranch_sim::Memory::new();
+/// let key = CacheKey::for_run("demo", &program, &memory, 100);
+/// let (summary, hit) = cache
+///     .replay_or_record(&key, &program, memory, 100, &mut NullSink)
+///     .unwrap();
+/// assert!(summary.halted && !hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TraceCache {
+    /// Opens (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(TraceCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where `key`'s trace lives (whether or not it exists yet).
+    pub fn path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Whether a sealed trace for `key` is present (not validated).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.path(key).exists()
+    }
+
+    /// The cache's fundamental operation: feed `sink` the event stream
+    /// for (`program`, `memory`, `budget`) — replaying the cached trace
+    /// when one exists and verifies, otherwise executing the program
+    /// once while recording it. Returns the run summary and whether it
+    /// was a cache hit.
+    ///
+    /// A present-but-stale or corrupt file (version bump, interrupted
+    /// writer from a crashed process, hash mismatch) is treated as a
+    /// miss and atomically re-recorded.
+    pub fn replay_or_record<S: EventSink>(
+        &self,
+        key: &CacheKey,
+        program: &Program,
+        memory: Memory,
+        budget: u64,
+        sink: &mut S,
+    ) -> Result<(RunSummary, bool), TraceError> {
+        let path = self.path(key);
+        let expected_hash = program_hash(program);
+        if path.exists() {
+            match Self::try_replay(&path, expected_hash, sink) {
+                Ok(summary) => return Ok((summary, true)),
+                Err(TraceError::Io(e)) => return Err(TraceError::Io(e)),
+                Err(_stale) => {} // fall through and re-record
+            }
+        }
+        let header = TraceHeader::new(key.label.as_str(), expected_hash, key.digest, budget);
+        let summary = self.record(&path, &header, program, memory, budget, sink)?;
+        Ok((summary, false))
+    }
+
+    fn try_replay<S: EventSink>(
+        path: &Path,
+        expected_hash: u64,
+        sink: &mut S,
+    ) -> Result<RunSummary, TraceError> {
+        let reader = TraceReader::open(path)?;
+        let stored = reader.header().program_hash;
+        if stored != expected_hash {
+            return Err(TraceError::ProgramMismatch {
+                stored,
+                expected: expected_hash,
+            });
+        }
+        Ok(reader.replay(sink)?.summary)
+    }
+
+    /// Records a run to `path` via write-then-rename, teeing events into
+    /// `sink` as they happen.
+    fn record<S: EventSink>(
+        &self,
+        path: &Path,
+        header: &TraceHeader,
+        program: &Program,
+        memory: Memory,
+        budget: u64,
+        sink: &mut S,
+    ) -> Result<RunSummary, TraceError> {
+        let tmp = self.dir.join(format!(
+            ".{}.tmp.{}.{}",
+            header.name,
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let result = (|| {
+            let mut writer = TraceWriter::create(&tmp, header)?;
+            let summary = {
+                let mut tee = (&mut *sink, &mut writer);
+                Executor::new(program, memory).run(&mut tee, budget)
+            };
+            let mut file = writer
+                .finish(&summary)?
+                .into_inner()
+                .map_err(|e| io::Error::other(format!("flush failed: {e}")))?;
+            file.flush()?;
+            drop(file);
+            fs::rename(&tmp, path)?;
+            Ok(summary)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result.map_err(TraceError::Io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_isa::assemble;
+    use predbranch_sim::TraceSink;
+
+    fn toy_program() -> Program {
+        assemble(
+            r#"
+                mov r1 = 5
+            loop:
+                cmp.gt p1, p2 = r1, 0
+                (p1) sub r1 = r1, 1
+                (p1) br loop
+                halt
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pbt-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn miss_records_then_hit_replays_identically() {
+        let dir = tmp_dir("hit");
+        let cache = TraceCache::open(&dir).unwrap();
+        let program = toy_program();
+        let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
+
+        let mut first = TraceSink::new();
+        let (s1, hit1) = cache
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut first)
+            .unwrap();
+        assert!(!hit1);
+        assert!(cache.contains(&key));
+
+        let mut second = TraceSink::new();
+        let (s2, hit2) = cache
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut second)
+            .unwrap();
+        assert!(hit2);
+        assert_eq!(s1, s2);
+        assert_eq!(first.events(), second.events());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_re_recorded_not_fatal() {
+        let dir = tmp_dir("corrupt");
+        let cache = TraceCache::open(&dir).unwrap();
+        let program = toy_program();
+        let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
+        cache
+            .replay_or_record(
+                &key,
+                &program,
+                Memory::new(),
+                1_000,
+                &mut predbranch_sim::NullSink,
+            )
+            .unwrap();
+
+        // truncate the sealed file to simulate a torn write
+        let path = cache.path(&key);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let mut sink = TraceSink::new();
+        let (summary, hit) = cache
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut sink)
+            .unwrap();
+        assert!(!hit, "corrupt file must not count as a hit");
+        assert!(summary.halted);
+        // and the re-recorded file now verifies
+        TraceReader::open(&path).unwrap().verify().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_inputs_get_different_keys() {
+        let program = toy_program();
+        let mut mem = Memory::new();
+        mem.store(1_000, 7);
+        let a = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
+        let b = CacheKey::for_run("toy", &program, &mem, 1_000);
+        let c = CacheKey::for_run("toy", &program, &Memory::new(), 2_000);
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(b.digest(), c.digest());
+    }
+
+    #[test]
+    fn labels_are_sanitized_for_filenames() {
+        let key = CacheKey::new("a/b c!", 7);
+        assert_eq!(key.file_name(), "a_b_c_-0000000000000007.pbt");
+    }
+
+    #[test]
+    fn no_tmp_files_left_behind() {
+        let dir = tmp_dir("clean");
+        let cache = TraceCache::open(&dir).unwrap();
+        let program = toy_program();
+        let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
+        cache
+            .replay_or_record(
+                &key,
+                &program,
+                Memory::new(),
+                1_000,
+                &mut predbranch_sim::NullSink,
+            )
+            .unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,194 @@
+//! Streaming trace recording.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use predbranch_sim::{BranchEvent, Event, EventSink, PredWriteEvent, RunSummary};
+
+use crate::format::{event_index, write_event, write_summary, HashingWriter, TraceHeader, TAG_END};
+
+/// An [`EventSink`] that encodes every event straight to an
+/// [`io::Write`], in constant memory.
+///
+/// The writer is a drop-in sink for [`predbranch_sim::Executor::run`]:
+/// record alone, or tee alongside a live consumer with the tuple sink
+/// (`(&mut harness, &mut writer)`). Call [`TraceWriter::finish`] with
+/// the run's [`RunSummary`] to seal the file — an unfinished trace has
+/// no footer/checksum and readers will reject it as truncated.
+///
+/// I/O errors inside sink callbacks (which cannot return errors) are
+/// latched and surfaced by `finish`.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_sim::{Executor, Memory};
+/// use predbranch_trace::{program_hash, TraceHeader, TraceReader, TraceWriter};
+///
+/// let program = predbranch_isa::assemble("mov r1 = 1\n halt").unwrap();
+/// let header = TraceHeader::new("demo", program_hash(&program), 0, 100);
+/// let mut writer = TraceWriter::new(Vec::new(), &header).unwrap();
+/// let summary = Executor::new(&program, Memory::new()).run(&mut writer, 100);
+/// let bytes = writer.finish(&summary).unwrap();
+/// let reader = TraceReader::new(bytes.as_slice()).unwrap();
+/// assert_eq!(reader.header().name, "demo");
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: HashingWriter<W>,
+    prev_index: u64,
+    events: u64,
+    branches: u64,
+    pred_writes: u64,
+    error: Option<io::Error>,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates (truncating) a trace file at `path`.
+    pub fn create(path: impl AsRef<Path>, header: &TraceHeader) -> io::Result<Self> {
+        TraceWriter::new(BufWriter::new(File::create(path)?), header)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace on any writer; the header goes out immediately.
+    pub fn new(out: W, header: &TraceHeader) -> io::Result<Self> {
+        let mut out = HashingWriter::new(out);
+        header.write_to(&mut out)?;
+        Ok(TraceWriter {
+            out,
+            prev_index: 0,
+            events: 0,
+            branches: 0,
+            pred_writes: 0,
+            error: None,
+        })
+    }
+
+    /// Events recorded so far.
+    pub fn events_recorded(&self) -> u64 {
+        self.events
+    }
+
+    /// Branch events recorded so far.
+    pub fn branches_recorded(&self) -> u64 {
+        self.branches
+    }
+
+    /// Predicate-write events recorded so far.
+    pub fn pred_writes_recorded(&self) -> u64 {
+        self.pred_writes
+    }
+
+    /// Appends one event (what the [`EventSink`] impl calls).
+    pub fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        match write_event(&mut self.out, event, self.prev_index) {
+            Ok(index) => {
+                self.prev_index = index;
+                self.events += 1;
+                match event {
+                    Event::Branch(_) => self.branches += 1,
+                    Event::PredWrite(_) => self.pred_writes += 1,
+                }
+                debug_assert_eq!(self.prev_index, event_index(event));
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Seals the trace: end marker, run summary, event count, checksum.
+    /// Returns the inner writer, flushed.
+    pub fn finish(mut self, summary: &RunSummary) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.write_all(&[TAG_END])?;
+        write_summary(&mut self.out, summary)?;
+        crate::varint::write_u64(&mut self.out, self.events)?;
+        let digest = self.out.digest();
+        // the checksum itself is outside the checksummed range
+        self.out.get_mut().write_all(&digest.to_le_bytes())?;
+        let mut inner = self.out.into_inner();
+        inner.flush()?;
+        Ok(inner)
+    }
+}
+
+impl<W: Write> EventSink for TraceWriter<W> {
+    fn branch(&mut self, event: &BranchEvent) {
+        self.record(&Event::Branch(*event));
+    }
+
+    fn pred_write(&mut self, event: &PredWriteEvent) {
+        self.record(&Event::PredWrite(*event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_isa::PredReg;
+
+    fn header() -> TraceHeader {
+        TraceHeader::new("t", 1, 2, 3)
+    }
+
+    fn write_ev(index: u64) -> PredWriteEvent {
+        PredWriteEvent {
+            pc: 4,
+            preg: PredReg::new(1).unwrap(),
+            value: true,
+            index,
+            guard: PredReg::TRUE,
+            guard_value: true,
+        }
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let mut w = TraceWriter::new(Vec::new(), &header()).unwrap();
+        w.pred_write(&write_ev(0));
+        w.pred_write(&write_ev(1));
+        assert_eq!(w.events_recorded(), 2);
+        assert_eq!(w.pred_writes_recorded(), 2);
+        assert_eq!(w.branches_recorded(), 0);
+    }
+
+    #[test]
+    fn finish_surfaces_latched_io_errors() {
+        /// A writer that fails after the header has gone out.
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 < buf.len() {
+                    Err(io::Error::other("disk full"))
+                } else {
+                    self.0 -= buf.len();
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut w = TraceWriter::new(FailAfter(64), &header()).unwrap();
+        for i in 0..64 {
+            w.pred_write(&write_ev(i));
+        }
+        let summary = RunSummary {
+            instructions: 64,
+            branches: 0,
+            conditional_branches: 0,
+            region_branches: 0,
+            taken_conditional: 0,
+            pred_writes: 64,
+            halted: true,
+        };
+        assert!(w.finish(&summary).is_err());
+    }
+}

@@ -83,6 +83,9 @@ mod tests {
         assert!(exec.run(&mut NullSink, 1_000_000).halted);
         let cutoffs = exec.memory().load(i64::from(OUT_BASE) + 2) as f64;
         // ~half the iterations are odd, ~8% of those exceed 235
-        assert!((0.005..0.12).contains(&(cutoffs / f64::from(N))), "{cutoffs}");
+        assert!(
+            (0.005..0.12).contains(&(cutoffs / f64::from(N))),
+            "{cutoffs}"
+        );
     }
 }

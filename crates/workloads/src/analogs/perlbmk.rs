@@ -84,7 +84,13 @@ mod tests {
         let program = predbranch_compiler::lower(&bench.cfg()).unwrap();
         let mut exec = Executor::new(&program, bench.input(6));
         assert!(exec.run(&mut NullSink, 2_000_000).halted);
-        assert!(exec.memory().load(i64::from(OUT_BASE) + 1) > 0, "repeat op ran");
-        assert!(exec.memory().load(i64::from(OUT_BASE) + 2) > 0, "slow path ran");
+        assert!(
+            exec.memory().load(i64::from(OUT_BASE) + 1) > 0,
+            "repeat op ran"
+        );
+        assert!(
+            exec.memory().load(i64::from(OUT_BASE) + 2) > 0,
+            "slow path ran"
+        );
     }
 }

@@ -49,9 +49,7 @@ fn parse_args() -> Option<Options> {
 
 fn main() -> ExitCode {
     let Some(opts) = parse_args() else {
-        eprintln!(
-            "usage: pbcc <bench|list> [--ifconvert] [--threshold X] [--report]"
-        );
+        eprintln!("usage: pbcc <bench|list> [--ifconvert] [--threshold X] [--report]");
         return ExitCode::FAILURE;
     };
     if opts.bench == "list" {

@@ -144,10 +144,7 @@ mod tests {
     fn markov_stream_is_bigram_biased() {
         let mut rng = InputRng::new("t", 2);
         let v = markov_stream(&mut rng, 4000, 8, 0.8);
-        let follows = v
-            .windows(2)
-            .filter(|w| w[1] == (w[0] * 3 + 1) % 8)
-            .count();
+        let follows = v.windows(2).filter(|w| w[1] == (w[0] * 3 + 1) % 8).count();
         // ~80% deterministic successor (+ chance hits)
         assert!(follows > 3000, "follows = {follows}");
         assert!(v.iter().all(|&s| (0..8).contains(&s)));

@@ -62,6 +62,14 @@ impl Benchmark {
     pub fn input(&self, seed: u64) -> Memory {
         (self.input)(seed)
     }
+
+    /// A human-legible label identifying one recordable run of this
+    /// benchmark (`"<name>-<variant>-<seed>"`), used to name trace
+    /// files. `variant` distinguishes the compiled binaries, e.g.
+    /// `"plain"` vs `"pred"`.
+    pub fn trace_label(&self, variant: &str, seed: u64) -> String {
+        format!("{}-{}-{:x}", self.name, variant, seed)
+    }
 }
 
 impl fmt::Debug for Benchmark {
@@ -95,6 +103,22 @@ impl Default for CompileOptions {
             profile_max_blocks: 4_000_000,
             hoist: false,
         }
+    }
+}
+
+impl CompileOptions {
+    /// A stable digest of every knob that affects the compiled
+    /// binaries, for keying trace caches: equal fingerprints (under the
+    /// same compiler build) produce identical programs.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the Debug rendering — covers new fields
+        // automatically as the options struct grows.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
     }
 }
 
@@ -136,8 +160,7 @@ pub fn compile_benchmark(bench: &Benchmark, opts: &CompileOptions) -> CompiledBe
         "benchmark {} did not halt during profiling",
         bench.name
     );
-    let converted =
-        if_convert(&cfg, Some(&profile), &opts.ifconv).expect("suite CFGs if-convert");
+    let converted = if_convert(&cfg, Some(&profile), &opts.ifconv).expect("suite CFGs if-convert");
     let predicated = if opts.hoist {
         hoist_compares(&converted.program).program
     } else {
@@ -189,8 +212,7 @@ mod tests {
     fn every_benchmark_compiles_and_halts_both_ways() {
         for bench in suite() {
             let compiled = compile_benchmark(&bench, &CompileOptions::default());
-            for (label, program) in [("plain", &compiled.plain), ("pred", &compiled.predicated)]
-            {
+            for (label, program) in [("plain", &compiled.plain), ("pred", &compiled.predicated)] {
                 let mut exec = Executor::new(program, bench.input(EVAL_SEED));
                 let summary = exec.run(&mut NullSink, DEFAULT_MAX_INSTRUCTIONS);
                 assert!(
@@ -246,7 +268,12 @@ mod tests {
         for bench in suite() {
             let train = bench.input(TRAIN_SEED);
             let eval = bench.input(EVAL_SEED);
-            assert_ne!(train, eval, "{}: inputs identical across seeds", bench.name());
+            assert_ne!(
+                train,
+                eval,
+                "{}: inputs identical across seeds",
+                bench.name()
+            );
         }
     }
 }

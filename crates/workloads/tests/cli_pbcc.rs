@@ -10,7 +10,10 @@ fn list_names_all_benchmarks() {
         .expect("pbcc runs");
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for name in ["gzip", "vpr", "gcc", "mcf", "crafty", "parser", "perlbmk", "gap", "vortex", "bzip2", "twolf"] {
+    for name in [
+        "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "perlbmk", "gap", "vortex", "bzip2",
+        "twolf",
+    ] {
         assert!(text.contains(name), "missing {name}:\n{text}");
     }
 }

@@ -4,10 +4,8 @@
 
 use proptest::prelude::*;
 
-use predbranch_sim::{Executor, ExecMetrics, NullSink};
-use predbranch_workloads::{
-    compile_benchmark, suite, CompileOptions, DEFAULT_MAX_INSTRUCTIONS,
-};
+use predbranch_sim::{ExecMetrics, Executor, NullSink};
+use predbranch_workloads::{compile_benchmark, suite, CompileOptions, DEFAULT_MAX_INSTRUCTIONS};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]

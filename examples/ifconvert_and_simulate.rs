@@ -28,7 +28,11 @@ fn main() {
     for id in cfg.block_ids() {
         if let Some(bias) = profile.bias(id) {
             if profile.executions(id) > 100 {
-                println!("  {id}: branch bias {:.3} ({} execs)", bias, profile.executions(id));
+                println!(
+                    "  {id}: branch bias {:.3} ({} execs)",
+                    bias,
+                    profile.executions(id)
+                );
             }
         }
     }

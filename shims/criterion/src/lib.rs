@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds where crates.io is unreachable, so this local
+//! crate implements the Criterion API subset the benches use: benchmark
+//! groups, `bench_with_input` / `bench_function`, throughput annotation,
+//! and the `criterion_group!` / `criterion_main!` macros. Timing is a
+//! plain wall-clock mean over `sample_size` iterations (after one warmup
+//! run), reported on stdout — no statistics, plots, or baselines.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), every
+//! benchmark body runs exactly once so CI stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let report = run_one(self.sample_size, self.test_mode, &mut f);
+        println!("{id:<40} {report}");
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how much work one iteration performs, so the report can
+    /// show a per-element rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_one(samples, self.criterion.test_mode, &mut |b| f(b, input));
+        self.print(&id.0, report);
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_one(samples, self.criterion.test_mode, &mut f);
+        self.print(&id.to_string(), report);
+        self
+    }
+
+    fn print(&self, id: &str, report: Report) {
+        let full = format!("{}/{id}", self.name);
+        match (&self.throughput, report.mean) {
+            (Some(Throughput::Elements(n)), Some(mean)) if *n > 0 => {
+                let per = mean.as_secs_f64() / *n as f64 * 1e9;
+                println!("{full:<56} {report}  ({per:.1} ns/elem)");
+            }
+            _ => println!("{full:<56} {report}"),
+        }
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark body; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    result: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine` and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some(Report { mean: None });
+            return;
+        }
+        black_box(routine()); // warmup
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        let mean = start.elapsed() / self.samples as u32;
+        self.result = Some(Report { mean: Some(mean) });
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean: Option<Duration>,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean {
+            Some(mean) => write!(f, "{:>12.3?}/iter", mean),
+            None => write!(f, "ok (test mode)"),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(samples: usize, test_mode: bool, f: &mut F) -> Report {
+    let mut bencher = Bencher {
+        samples,
+        test_mode,
+        result: None,
+    };
+    f(&mut bencher);
+    bencher.result.unwrap_or(Report { mean: None })
+}
+
+/// Declares a benchmark entry point running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &21u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = target
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bench_function_on_criterion() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("top-level", |b| b.iter(|| black_box(3) + 4));
+    }
+}

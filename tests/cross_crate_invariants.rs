@@ -39,8 +39,7 @@ fn compiled_suite_is_binary_encodable() {
         let c = compile_benchmark(&bench, &CompileOptions::default());
         for program in [&c.plain, &c.predicated] {
             for (pc, inst) in program.iter() {
-                let word = encode(inst)
-                    .unwrap_or_else(|e| panic!("{} pc {pc}: {e}", c.name));
+                let word = encode(inst).unwrap_or_else(|e| panic!("{} pc {pc}: {e}", c.name));
                 assert_eq!(decode(word).unwrap(), *inst, "{} pc {pc}", c.name);
             }
         }

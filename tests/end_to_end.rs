@@ -11,11 +11,7 @@ use predbranch::workloads::{
     compile_benchmark, suite, CompileOptions, DEFAULT_MAX_INSTRUCTIONS, EVAL_SEED,
 };
 
-fn misp_on(
-    program: &predbranch::isa::Program,
-    memory: Memory,
-    spec: &PredictorSpec,
-) -> (f64, u64) {
+fn misp_on(program: &predbranch::isa::Program, memory: Memory, spec: &PredictorSpec) -> (f64, u64) {
     let mut harness = PredictionHarness::new(
         build_predictor(spec),
         HarnessConfig {
@@ -35,8 +31,11 @@ fn misp_on(
 fn oracle_is_perfect_on_every_benchmark() {
     for bench in suite() {
         let c = compile_benchmark(&bench, &CompileOptions::default());
-        let (misp, branches) =
-            misp_on(&c.predicated, bench.input(EVAL_SEED), &PredictorSpec::OracleGuard);
+        let (misp, branches) = misp_on(
+            &c.predicated,
+            bench.input(EVAL_SEED),
+            &PredictorSpec::OracleGuard,
+        );
         assert!(branches > 0);
         assert_eq!(misp, 0.0, "{}: oracle must be perfect", c.name);
     }
@@ -97,7 +96,10 @@ fn sfpf_never_hurts_and_pgu_wins_where_designed() {
             &base.clone().with_pgu(8),
         );
         if bench.name() == "gap" {
-            assert!(p < b / 4.0, "gap: PGU must crush the v%15 branch ({b} -> {p})");
+            assert!(
+                p < b / 4.0,
+                "gap: PGU must crush the v%15 branch ({b} -> {p})"
+            );
         }
         if p < b * 0.8 {
             pgu_better_somewhere = true;

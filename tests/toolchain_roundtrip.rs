@@ -31,7 +31,12 @@ fn assembly_text_roundtrip_preserves_execution() {
         let text = compiled.predicated.to_string();
         let reassembled = assemble(&text)
             .unwrap_or_else(|e| panic!("{}: disassembly must reassemble: {e}", compiled.name));
-        assert_eq!(reassembled.insts(), compiled.predicated.insts(), "{}", compiled.name);
+        assert_eq!(
+            reassembled.insts(),
+            compiled.predicated.insts(),
+            "{}",
+            compiled.name
+        );
         assert_eq!(
             final_memory(&compiled.predicated, bench.input(EVAL_SEED)),
             final_memory(&reassembled, bench.input(EVAL_SEED)),
