@@ -4,16 +4,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use predbranch_bench::{all_experiments, Scale};
+use predbranch_bench::{all_experiments, RunContext, Scale};
 
 fn bench_experiments(c: &mut Criterion) {
+    let ctx = RunContext::new();
     let scale = Scale::quick();
     let mut group = c.benchmark_group("experiments_quick");
     group.sample_size(10);
     for exp in all_experiments() {
         group.bench_with_input(BenchmarkId::from_parameter(exp.id), &exp, |b, exp| {
             b.iter(|| {
-                let artifacts = (exp.run)(&scale);
+                let artifacts = (exp.run)(&ctx, &scale);
                 assert!(!artifacts.is_empty());
                 artifacts.len()
             })

@@ -10,55 +10,114 @@
 //! experiments --trace-cache .traces f5
 //!                            # execute each (binary, input) once,
 //!                            # replay recorded traces for every predictor
+//! experiments --jobs 8 all   # run experiment cells on 8 worker lanes;
+//!                            # stdout is byte-identical to --jobs 1
+//! experiments --manifest run.json all
+//!                            # write a JSON run record (cells, sources,
+//!                            # wall-clock, cache traffic)
+//! experiments --checkpoint run.ckpt all
+//!                            # journal completed cells; an interrupted
+//!                            # sweep resumes from where it died
 //! ```
 
 use std::process::ExitCode;
 
 use predbranch_bench::experiments::find_experiment;
+use predbranch_bench::runner::RunContext;
 use predbranch_bench::{all_experiments, Scale};
+use predbranch_sweep::ManifestBuilder;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = if let Some(pos) = args.iter().position(|a| a == "--quick") {
-        args.remove(pos);
-        true
-    } else {
-        false
+    let command = format!("experiments {}", args.join(" "));
+    let mut flag = |name: &str| -> bool {
+        if let Some(pos) = args.iter().position(|a| a == name) {
+            args.remove(pos);
+            true
+        } else {
+            false
+        }
     };
-    let bars = if let Some(pos) = args.iter().position(|a| a == "--bars") {
-        args.remove(pos);
-        true
-    } else {
-        false
+    let quick = flag("--quick");
+    let bars = flag("--bars");
+    let markdown = flag("--markdown");
+    let mut valued = |name: &str| -> Result<Option<String>, String> {
+        match args.iter().position(|a| a == name) {
+            Some(pos) if pos + 1 < args.len() => {
+                let value = args.remove(pos + 1);
+                args.remove(pos);
+                Ok(Some(value))
+            }
+            Some(_) => Err(format!("{name} needs a value")),
+            None => Ok(None),
+        }
     };
-    let markdown = if let Some(pos) = args.iter().position(|a| a == "--markdown") {
-        args.remove(pos);
-        true
-    } else {
-        false
-    };
-    let trace_cache = if let Some(pos) = args.iter().position(|a| a == "--trace-cache") {
-        if pos + 1 >= args.len() {
-            eprintln!("--trace-cache needs a directory");
+    let (trace_cache, jobs, manifest_path, checkpoint_path) = match (
+        valued("--trace-cache"),
+        valued("--jobs"),
+        valued("--manifest"),
+        valued("--checkpoint"),
+    ) {
+        (Ok(tc), Ok(j), Ok(m), Ok(c)) => (tc, j, m, c),
+        (tc, j, m, c) => {
+            for err in [tc.err(), j.err(), m.err(), c.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
             return ExitCode::FAILURE;
         }
-        let dir = args.remove(pos + 1);
-        args.remove(pos);
-        Some(dir)
-    } else {
-        None
     };
+    let jobs: usize = match jobs.as_deref().map(str::parse).transpose() {
+        Ok(n) => n.unwrap_or(1).max(1),
+        Err(e) => {
+            eprintln!("--jobs needs a positive integer: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ctx = RunContext::new().with_jobs(jobs);
     if let Some(dir) = &trace_cache {
-        if let Err(e) = predbranch_bench::runner::set_trace_cache(dir) {
-            eprintln!("cannot open trace cache {dir}: {e}");
-            return ExitCode::FAILURE;
-        }
+        ctx = match ctx.with_trace_cache(dir) {
+            Ok(ctx) => ctx,
+            Err(e) => {
+                eprintln!("cannot open trace cache {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    if let Some(path) = &checkpoint_path {
+        ctx = match ctx.with_checkpoint(path) {
+            Ok(ctx) => {
+                eprintln!(
+                    "checkpoint {path}: {} completed cells loaded",
+                    ctx.checkpoint_loaded().unwrap_or(0)
+                );
+                ctx
+            }
+            Err(e) => {
+                eprintln!("cannot open checkpoint {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    if manifest_path.is_some() {
+        let manifest = ManifestBuilder::new(&command, jobs);
+        manifest.fingerprint(
+            "compile-options",
+            format!(
+                "{:016x}",
+                predbranch_workloads::CompileOptions::default().fingerprint()
+            ),
+        );
+        ctx = ctx.with_manifest(manifest);
     }
     let scale = if quick { Scale::quick() } else { Scale::full() };
 
     if args.is_empty() {
         println!("experiments — regenerate the study's tables and figures\n");
-        println!("usage: experiments [--quick] [--trace-cache <dir>] <id>... | all\n");
+        println!(
+            "usage: experiments [--quick] [--jobs N] [--trace-cache <dir>] \
+             [--manifest <file>] [--checkpoint <file>] <id>... | all\n"
+        );
         for exp in all_experiments() {
             println!("  {:<4} {}", exp.id, exp.title);
         }
@@ -86,7 +145,7 @@ fn main() -> ExitCode {
         if markdown {
             println!("## {} — {}\n", exp.id, exp.title);
         }
-        for artifact in (exp.run)(&scale) {
+        for artifact in (exp.run)(&ctx, &scale) {
             if markdown {
                 println!("```text\n{artifact}```\n");
             } else {
@@ -99,9 +158,30 @@ fn main() -> ExitCode {
             }
         }
     }
+    let stats = ctx.stats();
     if trace_cache.is_some() {
-        let (replays, recordings) = predbranch_bench::runner::trace_cache_stats();
-        eprintln!("trace cache: {replays} replays, {recordings} recordings");
+        eprintln!(
+            "trace cache: {} replays, {} recordings",
+            stats.replays, stats.recordings
+        );
+    }
+    if checkpoint_path.is_some() && stats.checkpoint_hits > 0 {
+        eprintln!(
+            "checkpoint: {} cells restored without re-running",
+            stats.checkpoint_hits
+        );
+    }
+    if let (Some(path), Some(manifest)) = (&manifest_path, ctx.manifest()) {
+        let cache = trace_cache
+            .as_ref()
+            .map(|_| (stats.replays, stats.recordings));
+        match manifest.write(path, cache) {
+            Ok(()) => eprintln!("manifest: {} cells -> {path}", manifest.cell_count()),
+            Err(e) => {
+                eprintln!("cannot write manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -10,10 +10,31 @@ use predbranch_core::InsertFilter;
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let spec = base_spec();
+    let entries = ctx.suite(scale.limit);
+    let mut cells = Vec::with_capacity(entries.len() * 2);
+    for entry in entries.iter() {
+        let name = entry.compiled.name;
+        cells.push(CellSpec::plain(
+            entry,
+            format!("f1/{name}/plain"),
+            &spec,
+            DEFAULT_LATENCY,
+            InsertFilter::All,
+        ));
+        cells.push(CellSpec::predicated(
+            entry,
+            format!("f1/{name}/pred"),
+            &spec,
+            DEFAULT_LATENCY,
+            InsertFilter::All,
+        ));
+    }
+    let outs = ctx.run_cells(cells);
+
     let mut table = Table::new(
         "F1: gshare misprediction rate, plain vs if-converted code",
         &[
@@ -28,21 +49,9 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
     let mut plain_rates = Vec::new();
     let mut pred_rates = Vec::new();
     let mut region_rates = Vec::new();
-    for entry in compiled_suite(scale.limit) {
-        let plain = run_spec(
-            &entry.compiled.plain,
-            entry.eval_input(),
-            &spec,
-            DEFAULT_LATENCY,
-            InsertFilter::All,
-        );
-        let pred = run_spec(
-            &entry.compiled.predicated,
-            entry.eval_input(),
-            &spec,
-            DEFAULT_LATENCY,
-            InsertFilter::All,
-        );
+    for (i, entry) in entries.iter().enumerate() {
+        let plain = &outs[2 * i];
+        let pred = &outs[2 * i + 1];
         plain_rates.push(plain.misp_percent());
         pred_rates.push(pred.misp_percent());
         region_rates.push(pred.region_misp_percent());

@@ -10,10 +10,33 @@ use predbranch_core::{guard_def_pcs, InsertFilter};
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY, PGU_DELAY};
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
-    let entries = compiled_suite(scale.limit);
+const COLUMNS: usize = 5;
+
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
+    let entries = ctx.suite(scale.limit);
+    let mut cells_in = Vec::with_capacity(entries.len() * COLUMNS);
+    for entry in entries.iter() {
+        let guard_pcs = guard_def_pcs(&entry.compiled.predicated);
+        let configs: [(&str, u64, InsertFilter); COLUMNS] = [
+            ("none-d8", PGU_DELAY, InsertFilter::None),
+            ("all-d8", PGU_DELAY, InsertFilter::All),
+            ("guard-d8", PGU_DELAY, InsertFilter::Pcs(guard_pcs.clone())),
+            ("all-d0", 0, InsertFilter::All),
+            ("guard-d0", 0, InsertFilter::Pcs(guard_pcs)),
+        ];
+        for (tag, delay, insert) in configs {
+            cells_in.push(CellSpec::predicated(
+                entry,
+                format!("f10/{}/{tag}", entry.compiled.name),
+                &base_spec().with_pgu(delay),
+                DEFAULT_LATENCY,
+                insert,
+            ));
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
 
     let mut table = Table::new(
         "F10: PGU misprediction rate (%) by insertion filter and delay",
@@ -26,27 +49,12 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
             "guard defs d0",
         ],
     );
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for entry in &entries {
-        let guard_pcs = guard_def_pcs(&entry.compiled.predicated);
-        let configs: Vec<(u64, InsertFilter)> = vec![
-            (PGU_DELAY, InsertFilter::None),
-            (PGU_DELAY, InsertFilter::All),
-            (PGU_DELAY, InsertFilter::Pcs(guard_pcs.clone())),
-            (0, InsertFilter::All),
-            (0, InsertFilter::Pcs(guard_pcs)),
-        ];
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); COLUMNS];
+    for (row, entry) in entries.iter().enumerate() {
         let mut cells = vec![Cell::new(entry.compiled.name)];
-        for (col, (delay, insert)) in configs.into_iter().enumerate() {
-            let spec = base_spec().with_pgu(delay);
-            let out = run_spec(
-                &entry.compiled.predicated,
-                entry.eval_input(),
-                &spec,
-                DEFAULT_LATENCY,
-                insert,
-            );
-            columns[col].push(out.misp_percent());
+        for (col, column) in columns.iter_mut().enumerate() {
+            let out = &outs[row * COLUMNS + col];
+            column.push(out.misp_percent());
             cells.push(Cell::percent(out.misp_percent()));
         }
         table.row(cells);

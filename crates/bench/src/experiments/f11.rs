@@ -12,10 +12,10 @@
 use predbranch_core::InsertFilter;
 use predbranch_sim::{PipelineConfig, PipelineModel};
 use predbranch_stats::{mean, Cell, Table};
-use predbranch_workloads::{compile_benchmark, suite, CompileOptions, IfConvertConfig};
+use predbranch_workloads::{compile_benchmark, CompileOptions, CompiledBenchmark, IfConvertConfig};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{run_spec, RunOutcome, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, RunOutcome, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY};
 
 const THRESHOLDS: [f64; 5] = [0.55, 0.70, 0.85, 0.95, 1.01];
 
@@ -29,34 +29,86 @@ fn cycles(out: &RunOutcome, pipe: &PipelineConfig) -> u64 {
     .cycles()
 }
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let pipe = PipelineConfig::default();
     let base = base_spec();
     let both = base.clone().with_sfpf().with_pgu(PGU_DELAY);
-    let benchmarks: Vec<_> = suite()
-        .into_iter()
-        .take(scale.limit.unwrap_or(usize::MAX))
+    // the default-options suite doubles as the plain-binary reference
+    // (threshold-independent)
+    let entries = ctx.suite(scale.limit);
+
+    let reference_outs = ctx.run_cells(
+        entries
+            .iter()
+            .map(|entry| {
+                CellSpec::plain(
+                    entry,
+                    format!("f11/{}/reference", entry.compiled.name),
+                    &base,
+                    DEFAULT_LATENCY,
+                    InsertFilter::All,
+                )
+            })
+            .collect(),
+    );
+    let reference: Vec<u64> = reference_outs
+        .iter()
+        .map(|out| cycles(out, &pipe))
         .collect();
 
-    // plain-binary reference cycles per benchmark (threshold-independent)
-    let reference: Vec<u64> = benchmarks
-        .iter()
-        .map(|bench| {
-            let compiled = compile_benchmark(bench, &CompileOptions::default());
-            let entry = SuiteEntry {
-                bench: bench.clone(),
-                compiled,
+    // recompile the suite once per threshold, on the pool
+    let mut compile_jobs: Vec<Box<dyn FnOnce() -> CompiledBenchmark + Send>> = Vec::new();
+    for &threshold in &THRESHOLDS {
+        for entry in entries.iter() {
+            let bench = entry.bench.clone();
+            compile_jobs.push(Box::new(move || {
+                let opts = CompileOptions {
+                    ifconv: IfConvertConfig {
+                        convert_bias_below: threshold,
+                        ..IfConvertConfig::default()
+                    },
+                    ..CompileOptions::default()
+                };
+                compile_benchmark(&bench, &opts)
+            }));
+        }
+    }
+    let compiled = ctx.map_batch(compile_jobs);
+
+    // three cells per (threshold, bench): plain/gshare (branch-count
+    // reference), pred/gshare, pred/+both
+    let n = entries.len();
+    let mut cells_in = Vec::with_capacity(THRESHOLDS.len() * n * 3);
+    for ti in 0..THRESHOLDS.len() {
+        for (ei, entry) in entries.iter().enumerate() {
+            let recompiled = SuiteEntry {
+                bench: entry.bench.clone(),
+                compiled: compiled[ti * n + ei].clone(),
             };
-            let out = run_spec(
-                &entry.compiled.plain,
-                entry.eval_input(),
+            let name = recompiled.compiled.name;
+            let mut plain_cell = CellSpec::plain(
+                &recompiled,
+                format!("f11/{name}/t{ti}/plain"),
                 &base,
                 DEFAULT_LATENCY,
                 InsertFilter::All,
             );
-            cycles(&out, &pipe)
-        })
-        .collect();
+            plain_cell.cache_label = format!("{name}-plain-ifc{ti}");
+            cells_in.push(plain_cell);
+            for (tag, spec) in [("gshare", &base), ("both", &both)] {
+                let mut cell = CellSpec::predicated(
+                    &recompiled,
+                    format!("f11/{name}/t{ti}/{tag}"),
+                    spec,
+                    DEFAULT_LATENCY,
+                    InsertFilter::All,
+                );
+                cell.cache_label = format!("{name}-pred-ifc{ti}");
+                cells_in.push(cell);
+            }
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
 
     let mut table = Table::new(
         "F11: if-conversion aggressiveness (suite means; cycles relative to plain+gshare)",
@@ -69,54 +121,23 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
             "cycles +both",
         ],
     );
-    for threshold in THRESHOLDS {
-        let opts = CompileOptions {
-            ifconv: IfConvertConfig {
-                convert_bias_below: threshold,
-                ..IfConvertConfig::default()
-            },
-            ..CompileOptions::default()
-        };
+    for (ti, threshold) in THRESHOLDS.into_iter().enumerate() {
         let mut kept_frac = Vec::new();
         let mut misp_base = Vec::new();
         let mut misp_both = Vec::new();
         let mut rel_base = Vec::new();
         let mut rel_both = Vec::new();
-        for (bench, &ref_cycles) in benchmarks.iter().zip(&reference) {
-            let compiled = compile_benchmark(bench, &opts);
-            let entry = SuiteEntry {
-                bench: bench.clone(),
-                compiled,
-            };
-            let out_plain_br = run_spec(
-                &entry.compiled.plain,
-                entry.eval_input(),
-                &base,
-                DEFAULT_LATENCY,
-                InsertFilter::All,
-            );
-            let out_base = run_spec(
-                &entry.compiled.predicated,
-                entry.eval_input(),
-                &base,
-                DEFAULT_LATENCY,
-                InsertFilter::All,
-            );
-            let out_both = run_spec(
-                &entry.compiled.predicated,
-                entry.eval_input(),
-                &both,
-                DEFAULT_LATENCY,
-                InsertFilter::All,
-            );
+        for (ei, &ref_cycles) in reference.iter().enumerate() {
+            let at = (ti * n + ei) * 3;
+            let (out_plain_br, out_base, out_both) = (&outs[at], &outs[at + 1], &outs[at + 2]);
             kept_frac.push(
                 100.0 * out_base.summary.conditional_branches as f64
                     / out_plain_br.summary.conditional_branches.max(1) as f64,
             );
             misp_base.push(out_base.misp_percent());
             misp_both.push(out_both.misp_percent());
-            rel_base.push(cycles(&out_base, &pipe) as f64 / ref_cycles as f64);
-            rel_both.push(cycles(&out_both, &pipe) as f64 / ref_cycles as f64);
+            rel_base.push(cycles(out_base, &pipe) as f64 / ref_cycles as f64);
+            rel_both.push(cycles(out_both, &pipe) as f64 / ref_cycles as f64);
         }
         table.row(vec![
             Cell::float(threshold, 2),

@@ -9,7 +9,7 @@ use predbranch_core::{InsertFilter, PredictorSpec};
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
 
 fn policies() -> Vec<(&'static str, PredictorSpec)> {
     let base = base_spec();
@@ -37,30 +37,38 @@ fn policies() -> Vec<(&'static str, PredictorSpec)> {
     ]
 }
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
-    let entries = compiled_suite(scale.limit);
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
+    let entries = ctx.suite(scale.limit);
+    let all_policies = policies();
+    let mut cells_in = Vec::with_capacity(all_policies.len() * entries.len());
+    for (pi, (_, spec)) in all_policies.iter().enumerate() {
+        for entry in entries.iter() {
+            cells_in.push(CellSpec::predicated(
+                entry,
+                format!("f12/{}/p{pi}", entry.compiled.name),
+                spec,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            ));
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
+
     let mut table = Table::new(
         "F12: squash-filter policy ablation (suite means)",
         &["policy", "misp%", "filtered%", "region misp%"],
     );
-    for (label, spec) in policies() {
-        let mut misp = Vec::new();
-        let mut coverage = Vec::new();
-        let mut region = Vec::new();
-        for entry in &entries {
-            let out = run_spec(
-                &entry.compiled.predicated,
-                entry.eval_input(),
-                &spec,
-                DEFAULT_LATENCY,
-                InsertFilter::All,
-            );
-            misp.push(out.misp_percent());
-            coverage.push(out.metrics.filter_coverage().percent());
-            region.push(out.region_misp_percent());
-        }
+    let n = entries.len();
+    for (pi, (label, _)) in all_policies.iter().enumerate() {
+        let slice = &outs[pi * n..(pi + 1) * n];
+        let misp: Vec<f64> = slice.iter().map(|o| o.misp_percent()).collect();
+        let coverage: Vec<f64> = slice
+            .iter()
+            .map(|o| o.metrics.filter_coverage().percent())
+            .collect();
+        let region: Vec<f64> = slice.iter().map(|o| o.region_misp_percent()).collect();
         table.row(vec![
-            Cell::new(label),
+            Cell::new(*label),
             Cell::percent(mean(&misp)),
             Cell::percent(mean(&coverage)),
             Cell::percent(mean(&region)),

@@ -9,18 +9,34 @@ use predbranch_core::InsertFilter;
 use predbranch_stats::{mean, Series};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, PGU_DELAY};
 
 const LATENCIES: [u64; 7] = [0, 2, 4, 8, 12, 16, 32];
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
-    let entries = compiled_suite(scale.limit);
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
+    let entries = ctx.suite(scale.limit);
     let base = base_spec();
     let specs = [
         ("gshare", base.clone()),
         ("+SFPF", base.clone().with_sfpf()),
         ("+both", base.with_sfpf().with_pgu(PGU_DELAY)),
     ];
+
+    let mut cells_in = Vec::with_capacity(LATENCIES.len() * specs.len() * entries.len());
+    for latency in LATENCIES {
+        for (label, spec) in &specs {
+            for entry in entries.iter() {
+                cells_in.push(CellSpec::predicated(
+                    entry,
+                    format!("f13/{}/{label}/L{latency}", entry.compiled.name),
+                    spec,
+                    latency,
+                    InsertFilter::All,
+                ));
+            }
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
 
     let mut series = Series::new(
         "F13: suite-mean misprediction rate (%) vs predicate resolve latency",
@@ -29,21 +45,14 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
     for (label, _) in &specs {
         series.line(*label);
     }
-    for latency in LATENCIES {
+    let n = entries.len();
+    for (li, latency) in LATENCIES.into_iter().enumerate() {
         let mut ys = Vec::with_capacity(specs.len());
-        for (_, spec) in &specs {
-            let rates: Vec<f64> = entries
+        for si in 0..specs.len() {
+            let start = (li * specs.len() + si) * n;
+            let rates: Vec<f64> = outs[start..start + n]
                 .iter()
-                .map(|entry| {
-                    run_spec(
-                        &entry.compiled.predicated,
-                        entry.eval_input(),
-                        spec,
-                        latency,
-                        InsertFilter::All,
-                    )
-                    .misp_percent()
-                })
+                .map(|out| out.misp_percent())
                 .collect();
             ys.push(mean(&rates));
         }

@@ -11,36 +11,47 @@ use predbranch_core::InsertFilter;
 use predbranch_stats::{mean, Cell, Summary, Table};
 
 use super::{headline_specs, Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
 
 const SEEDS: [u64; 5] = [11, 222, 3_333, 44_444, 555_555];
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
-    let entries = compiled_suite(scale.limit);
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
+    let entries = ctx.suite(scale.limit);
+    let specs = headline_specs();
+    let mut cells_in = Vec::with_capacity(specs.len() * SEEDS.len() * entries.len());
+    for (label, spec) in &specs {
+        for seed in SEEDS {
+            for entry in entries.iter() {
+                cells_in.push(CellSpec::seeded(
+                    entry,
+                    format!("f14/{}/{label}/s{seed}", entry.compiled.name),
+                    seed,
+                    spec,
+                    DEFAULT_LATENCY,
+                    InsertFilter::All,
+                ));
+            }
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
+
     let mut table = Table::new(
         "F14: headline result across evaluation seeds (suite mean misp%, n=5 seeds)",
         &["config", "mean", "95% CI ±", "min", "max"],
     );
-    for (label, spec) in headline_specs() {
+    let n = entries.len();
+    for (si, (label, _)) in specs.iter().enumerate() {
         let mut per_seed = Summary::new();
-        for seed in SEEDS {
-            let rates: Vec<f64> = entries
+        for seed_idx in 0..SEEDS.len() {
+            let start = (si * SEEDS.len() + seed_idx) * n;
+            let rates: Vec<f64> = outs[start..start + n]
                 .iter()
-                .map(|entry| {
-                    run_spec(
-                        &entry.compiled.predicated,
-                        entry.bench.input(seed),
-                        &spec,
-                        DEFAULT_LATENCY,
-                        InsertFilter::All,
-                    )
-                    .misp_percent()
-                })
+                .map(|out| out.misp_percent())
                 .collect();
             per_seed.record(mean(&rates));
         }
         table.row(vec![
-            Cell::new(label),
+            Cell::new(*label),
             Cell::percent(per_seed.mean()),
             Cell::float(per_seed.confidence95(), 3),
             Cell::percent(per_seed.min()),

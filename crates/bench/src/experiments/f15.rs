@@ -11,14 +11,98 @@
 use predbranch_core::InsertFilter;
 use predbranch_sim::{ExecMetrics, Executor, GuardKnowledgeStats};
 use predbranch_stats::{mean, Cell, Table};
-use predbranch_workloads::{compile_benchmark, suite, CompileOptions, DEFAULT_MAX_INSTRUCTIONS};
+use predbranch_workloads::{
+    compile_benchmark, suite, CompileOptions, CompiledBenchmark, DEFAULT_MAX_INSTRUCTIONS,
+};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{run_spec, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY};
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let both = base_spec().with_sfpf().with_pgu(PGU_DELAY);
     let sfpf = base_spec().with_sfpf();
+    let benchmarks: Vec<_> = suite()
+        .into_iter()
+        .take(scale.limit.unwrap_or(usize::MAX))
+        .collect();
+
+    // compile both schedules of every benchmark, bench-major
+    // ([bench0/plain-sched, bench0/hoisted, bench1/plain-sched, ...])
+    let mut compile_jobs: Vec<Box<dyn FnOnce() -> CompiledBenchmark + Send>> = Vec::new();
+    for bench in &benchmarks {
+        for hoist in [false, true] {
+            let bench = bench.clone();
+            compile_jobs.push(Box::new(move || {
+                compile_benchmark(
+                    &bench,
+                    &CompileOptions {
+                        hoist,
+                        ..CompileOptions::default()
+                    },
+                )
+            }));
+        }
+    }
+    let compiled = ctx.map_batch(compile_jobs);
+    let variants: Vec<SuiteEntry> = benchmarks
+        .iter()
+        .flat_map(|bench| [bench, bench])
+        .zip(compiled)
+        .map(|(bench, compiled)| SuiteEntry {
+            bench: bench.clone(),
+            compiled,
+        })
+        .collect();
+
+    // per variant: an instrumented functional run for distance/coverage…
+    let sink_jobs = variants
+        .iter()
+        .map(|entry| {
+            let program = entry.compiled.predicated.clone();
+            let input = entry.eval_input();
+            let job: Box<dyn FnOnce() -> (f64, f64) + Send> = Box::new(move || {
+                let mut sinks = (
+                    ExecMetrics::new(),
+                    GuardKnowledgeStats::new(DEFAULT_LATENCY),
+                );
+                let summary =
+                    Executor::new(&program, input).run(&mut sinks, DEFAULT_MAX_INSTRUCTIONS);
+                assert!(summary.halted);
+                let (metrics, knowledge) = sinks;
+                (
+                    metrics.guard_distance().mean(),
+                    knowledge.known_false().percent(),
+                )
+            });
+            job
+        })
+        .collect();
+    let sink_stats = ctx.map_batch(sink_jobs);
+
+    // …and two predictor cells (+SFPF, +both)
+    let mut cells_in = Vec::with_capacity(variants.len() * 2);
+    for (vi, entry) in variants.iter().enumerate() {
+        let sched = if vi % 2 == 0 {
+            "plain-sched"
+        } else {
+            "hoisted"
+        };
+        for (tag, spec) in [("sfpf", &sfpf), ("both", &both)] {
+            let mut cell = CellSpec::predicated(
+                entry,
+                format!("f15/{}/{sched}/{tag}", entry.compiled.name),
+                spec,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            );
+            if vi % 2 == 1 {
+                cell.cache_label = format!("{}-pred-hoist", entry.compiled.name);
+            }
+            cells_in.push(cell);
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
+
     let mut table = Table::new(
         "F15: compare hoisting (per benchmark: plain schedule → hoisted schedule)",
         &[
@@ -37,71 +121,33 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
     let mut cover = (Vec::new(), Vec::new());
     let mut m_sfpf = (Vec::new(), Vec::new());
     let mut m_both = (Vec::new(), Vec::new());
-    for bench in suite().into_iter().take(scale.limit.unwrap_or(usize::MAX)) {
-        let mut row = vec![Cell::new(bench.name())];
-        let mut cells: Vec<[Cell; 2]> = Vec::new();
-        for (slot, hoist) in [false, true].into_iter().enumerate() {
-            let compiled = compile_benchmark(
-                &bench,
-                &CompileOptions {
-                    hoist,
-                    ..CompileOptions::default()
-                },
-            );
-            let entry = SuiteEntry {
-                bench: bench.clone(),
-                compiled,
-            };
-            let mut sinks = (
-                ExecMetrics::new(),
-                GuardKnowledgeStats::new(DEFAULT_LATENCY),
-            );
-            let summary = Executor::new(&entry.compiled.predicated, entry.eval_input())
-                .run(&mut sinks, DEFAULT_MAX_INSTRUCTIONS);
-            assert!(summary.halted);
-            let (metrics, knowledge) = sinks;
-            let d = metrics.guard_distance().mean();
-            let k = knowledge.known_false().percent();
-            let s = run_spec(
-                &entry.compiled.predicated,
-                entry.eval_input(),
-                &sfpf,
-                DEFAULT_LATENCY,
-                InsertFilter::All,
-            )
-            .misp_percent();
-            let b = run_spec(
-                &entry.compiled.predicated,
-                entry.eval_input(),
-                &both,
-                DEFAULT_LATENCY,
-                InsertFilter::All,
-            )
-            .misp_percent();
-            cells.push([Cell::float(d, 1), Cell::percent(k)]);
-            cells.push([Cell::percent(s), Cell::percent(b)]);
-            let bucket = |v: &mut (Vec<f64>, Vec<f64>), x: f64| {
-                if slot == 0 {
-                    v.0.push(x)
-                } else {
-                    v.1.push(x)
-                }
-            };
-            bucket(&mut dist, d);
-            bucket(&mut cover, k);
-            bucket(&mut m_sfpf, s);
-            bucket(&mut m_both, b);
-        }
+    for (bi, bench) in benchmarks.iter().enumerate() {
+        let (d0, k0) = sink_stats[2 * bi];
+        let (d1, k1) = sink_stats[2 * bi + 1];
+        let s0 = outs[4 * bi].misp_percent();
+        let b0 = outs[4 * bi + 1].misp_percent();
+        let s1 = outs[4 * bi + 2].misp_percent();
+        let b1 = outs[4 * bi + 3].misp_percent();
+        dist.0.push(d0);
+        dist.1.push(d1);
+        cover.0.push(k0);
+        cover.1.push(k1);
+        m_sfpf.0.push(s0);
+        m_sfpf.1.push(s1);
+        m_both.0.push(b0);
+        m_both.1.push(b1);
         // interleave: dist, dist.h, kf, kf.h, sfpf, sfpf.h, both, both.h
-        row.push(cells[0][0].clone());
-        row.push(cells[2][0].clone());
-        row.push(cells[0][1].clone());
-        row.push(cells[2][1].clone());
-        row.push(cells[1][0].clone());
-        row.push(cells[3][0].clone());
-        row.push(cells[1][1].clone());
-        row.push(cells[3][1].clone());
-        table.row(row);
+        table.row(vec![
+            Cell::new(bench.name()),
+            Cell::float(d0, 1),
+            Cell::float(d1, 1),
+            Cell::percent(k0),
+            Cell::percent(k1),
+            Cell::percent(s0),
+            Cell::percent(s1),
+            Cell::percent(b0),
+            Cell::percent(b1),
+        ]);
     }
     table.row(vec![
         Cell::new("mean"),

@@ -11,12 +11,30 @@ use predbranch_stats::{mean, Cell, Series, Table};
 use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
 
 use super::{Artifact, Scale};
-use crate::runner::{compiled_suite, DEFAULT_LATENCY};
+use crate::runner::{RunContext, DEFAULT_LATENCY};
 
 const LATENCIES: [u64; 6] = [0, 2, 4, 8, 16, 32];
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
-    let entries = compiled_suite(scale.limit);
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
+    let entries = ctx.suite(scale.limit);
+
+    // one classification job per (latency, entry), latency-major so the
+    // aggregation below can slice per latency step
+    let mut jobs: Vec<Box<dyn FnOnce() -> GuardKnowledgeStats + Send>> = Vec::new();
+    for latency in LATENCIES {
+        for entry in entries.iter() {
+            let program = entry.compiled.predicated.clone();
+            let input = entry.eval_input();
+            jobs.push(Box::new(move || {
+                let mut stats = GuardKnowledgeStats::new(latency);
+                let summary =
+                    Executor::new(&program, input).run(&mut stats, DEFAULT_MAX_INSTRUCTIONS);
+                assert!(summary.halted);
+                stats
+            }));
+        }
+    }
+    let all_stats = ctx.map_batch(jobs);
 
     let mut series = Series::new(
         "F2a: fetch-time guard knowledge vs resolve latency (suite mean, % of cond branches)",
@@ -25,16 +43,12 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
     series.line("known-false");
     series.line("known-true");
     series.line("unknown");
-    for latency in LATENCIES {
-        let mut kf = Vec::new();
-        let mut kt = Vec::new();
-        let mut unk = Vec::new();
-        for entry in &entries {
-            let stats = classify(entry, latency);
-            kf.push(stats.known_false().percent());
-            kt.push(stats.known_true().percent());
-            unk.push(stats.unknown().percent());
-        }
+    let n = entries.len();
+    for (li, latency) in LATENCIES.into_iter().enumerate() {
+        let slice = &all_stats[li * n..(li + 1) * n];
+        let kf: Vec<f64> = slice.iter().map(|s| s.known_false().percent()).collect();
+        let kt: Vec<f64> = slice.iter().map(|s| s.known_true().percent()).collect();
+        let unk: Vec<f64> = slice.iter().map(|s| s.unknown().percent()).collect();
         series.point(latency.to_string(), &[mean(&kf), mean(&kt), mean(&unk)]);
     }
 
@@ -48,8 +62,14 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
             "kf accuracy%",
         ],
     );
-    for entry in &entries {
-        let stats = classify(entry, DEFAULT_LATENCY);
+    let default_idx = LATENCIES
+        .iter()
+        .position(|&l| l == DEFAULT_LATENCY)
+        .expect("default latency must be part of the sweep");
+    for (entry, stats) in entries
+        .iter()
+        .zip(&all_stats[default_idx * n..(default_idx + 1) * n])
+    {
         let accuracy = if stats.known_false().numerator() == 0 {
             Cell::new("-")
         } else {
@@ -64,12 +84,4 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
         ]);
     }
     vec![Artifact::Series(series), Artifact::Table(table)]
-}
-
-fn classify(entry: &crate::runner::SuiteEntry, latency: u64) -> GuardKnowledgeStats {
-    let mut stats = GuardKnowledgeStats::new(latency);
-    let summary = Executor::new(&entry.compiled.predicated, entry.eval_input())
-        .run(&mut stats, DEFAULT_MAX_INSTRUCTIONS);
-    assert!(summary.halted);
-    stats
 }

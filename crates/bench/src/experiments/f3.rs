@@ -5,10 +5,25 @@ use predbranch_core::InsertFilter;
 use predbranch_stats::{geometric_mean, mean, Cell, Table};
 
 use super::{headline_specs, Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let specs = headline_specs();
+    let entries = ctx.suite(scale.limit);
+    let mut cells_in = Vec::with_capacity(entries.len() * specs.len());
+    for entry in entries.iter() {
+        for (label, spec) in &specs {
+            cells_in.push(CellSpec::predicated(
+                entry,
+                format!("f3/{}/{label}", entry.compiled.name),
+                spec,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            ));
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
+
     let mut header = vec!["bench"];
     header.extend(specs.iter().map(|(label, _)| *label));
     let mut table = Table::new(
@@ -17,16 +32,10 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
     );
 
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
-    for entry in compiled_suite(scale.limit) {
+    for (row, entry) in entries.iter().enumerate() {
         let mut cells = vec![Cell::new(entry.compiled.name)];
-        for (col, (_, spec)) in specs.iter().enumerate() {
-            let out = run_spec(
-                &entry.compiled.predicated,
-                entry.eval_input(),
-                spec,
-                DEFAULT_LATENCY,
-                InsertFilter::All,
-            );
+        for col in 0..specs.len() {
+            let out = &outs[row * specs.len() + col];
             columns[col].push(out.misp_percent());
             cells.push(Cell::percent(out.misp_percent()));
         }

@@ -4,34 +4,40 @@ use predbranch_core::InsertFilter;
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{headline_specs, Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let specs = headline_specs();
+    let entries = ctx.suite(scale.limit);
+    let mut cells_in = Vec::with_capacity(entries.len() * specs.len());
+    for entry in entries.iter() {
+        for (label, spec) in &specs {
+            cells_in.push(CellSpec::predicated(
+                entry,
+                format!("f4/{}/{label}", entry.compiled.name),
+                spec,
+                DEFAULT_LATENCY,
+                InsertFilter::All,
+            ));
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
+
     let mut header = vec!["bench", "region br"];
     header.extend(specs.iter().map(|(label, _)| *label));
     let mut table = Table::new("F4: region-based-branch misprediction rate (%)", &header);
 
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
-    for entry in compiled_suite(scale.limit) {
+    for (row, entry) in entries.iter().enumerate() {
         let mut cells = vec![Cell::new(entry.compiled.name)];
-        let mut region_count = 0;
-        for (col, (_, spec)) in specs.iter().enumerate() {
-            let out = run_spec(
-                &entry.compiled.predicated,
-                entry.eval_input(),
-                spec,
-                DEFAULT_LATENCY,
-                InsertFilter::All,
-            );
-            region_count = out.metrics.region.branches.get();
+        for col in 0..specs.len() {
+            let out = &outs[row * specs.len() + col];
             columns[col].push(out.region_misp_percent());
             if col == 0 {
-                cells.push(Cell::count(region_count));
+                cells.push(Cell::count(out.metrics.region.branches.get()));
             }
             cells.push(Cell::percent(out.region_misp_percent()));
         }
-        let _ = region_count;
         table.row(cells);
     }
     let mut amean = vec![Cell::new("amean"), Cell::new("-")];

@@ -12,11 +12,13 @@ use predbranch_core::{InsertFilter, PredictorSpec};
 use predbranch_stats::{mean, Series};
 
 use super::{Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY, PGU_DELAY};
 
 /// Swept table index widths; a `2^n`-entry table of 2-bit counters is
 /// `2^(n-2)` bytes.
 const INDEX_BITS: [u32; 6] = [6, 8, 10, 12, 14, 16];
+
+const CONFIGS: [&str; 4] = ["gshare", "+SFPF", "+PGU", "+both"];
 
 fn size_label(index_bits: u32) -> String {
     let bytes = 1u64 << (index_bits - 2);
@@ -27,15 +29,9 @@ fn size_label(index_bits: u32) -> String {
     }
 }
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
-    let entries = compiled_suite(scale.limit);
-    let mut series = Series::new(
-        "F5: suite-mean misprediction rate (%) vs gshare table size",
-        "size",
-    );
-    for label in ["gshare", "+SFPF", "+PGU", "+both"] {
-        series.line(label);
-    }
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
+    let entries = ctx.suite(scale.limit);
+    let mut cells_in = Vec::new();
     for bits in INDEX_BITS {
         let base = PredictorSpec::Gshare {
             index_bits: bits,
@@ -47,20 +43,35 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
             base.clone().with_pgu(PGU_DELAY),
             base.with_sfpf().with_pgu(PGU_DELAY),
         ];
-        let mut ys = Vec::with_capacity(specs.len());
-        for spec in &specs {
-            let rates: Vec<f64> = entries
+        for (config, spec) in CONFIGS.iter().zip(&specs) {
+            for entry in entries.iter() {
+                cells_in.push(CellSpec::predicated(
+                    entry,
+                    format!("f5/{}/{config}/b{bits}", entry.compiled.name),
+                    spec,
+                    DEFAULT_LATENCY,
+                    InsertFilter::All,
+                ));
+            }
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
+
+    let mut series = Series::new(
+        "F5: suite-mean misprediction rate (%) vs gshare table size",
+        "size",
+    );
+    for label in CONFIGS {
+        series.line(label);
+    }
+    let n = entries.len();
+    for (bi, bits) in INDEX_BITS.into_iter().enumerate() {
+        let mut ys = Vec::with_capacity(CONFIGS.len());
+        for ci in 0..CONFIGS.len() {
+            let start = (bi * CONFIGS.len() + ci) * n;
+            let rates: Vec<f64> = outs[start..start + n]
                 .iter()
-                .map(|entry| {
-                    run_spec(
-                        &entry.compiled.predicated,
-                        entry.eval_input(),
-                        spec,
-                        DEFAULT_LATENCY,
-                        InsertFilter::All,
-                    )
-                    .misp_percent()
-                })
+                .map(|out| out.misp_percent())
                 .collect();
             ys.push(mean(&rates));
         }

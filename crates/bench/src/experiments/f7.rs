@@ -9,7 +9,9 @@ use predbranch_core::{InsertFilter, PredictorSpec};
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY, PGU_DELAY};
+
+const VARIANTS: [&str; 4] = ["base", "+SFPF", "+PGU", "+both"];
 
 fn baselines() -> Vec<(&'static str, PredictorSpec)> {
     vec![
@@ -55,33 +57,43 @@ fn baselines() -> Vec<(&'static str, PredictorSpec)> {
     ]
 }
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
-    let entries = compiled_suite(scale.limit);
-    let mut table = Table::new(
-        "F7: suite-mean misprediction rate (%) per baseline predictor",
-        &["baseline", "base", "+SFPF", "+PGU", "+both"],
-    );
-    for (name, base) in baselines() {
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
+    let entries = ctx.suite(scale.limit);
+    let bases = baselines();
+    let mut cells_in = Vec::new();
+    for (name, base) in &bases {
         let variants = [
             base.clone(),
             base.clone().with_sfpf(),
             base.clone().with_pgu(PGU_DELAY),
-            base.with_sfpf().with_pgu(PGU_DELAY),
+            base.clone().with_sfpf().with_pgu(PGU_DELAY),
         ];
-        let mut cells = vec![Cell::new(name)];
-        for spec in &variants {
-            let rates: Vec<f64> = entries
+        for (variant, spec) in VARIANTS.iter().zip(&variants) {
+            for entry in entries.iter() {
+                cells_in.push(CellSpec::predicated(
+                    entry,
+                    format!("f7/{}/{name}/{variant}", entry.compiled.name),
+                    spec,
+                    DEFAULT_LATENCY,
+                    InsertFilter::All,
+                ));
+            }
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
+
+    let mut table = Table::new(
+        "F7: suite-mean misprediction rate (%) per baseline predictor",
+        &["baseline", "base", "+SFPF", "+PGU", "+both"],
+    );
+    let n = entries.len();
+    for (bi, (name, _)) in bases.iter().enumerate() {
+        let mut cells = vec![Cell::new(*name)];
+        for vi in 0..VARIANTS.len() {
+            let start = (bi * VARIANTS.len() + vi) * n;
+            let rates: Vec<f64> = outs[start..start + n]
                 .iter()
-                .map(|entry| {
-                    run_spec(
-                        &entry.compiled.predicated,
-                        entry.eval_input(),
-                        spec,
-                        DEFAULT_LATENCY,
-                        InsertFilter::All,
-                    )
-                    .misp_percent()
-                })
+                .map(|out| out.misp_percent())
                 .collect();
             cells.push(Cell::percent(mean(&rates)));
         }

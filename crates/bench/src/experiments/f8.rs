@@ -5,6 +5,10 @@
 //! against the closed-form [`PipelineModel`]; every configuration runs
 //! the same predicated binary, so speedups come purely from
 //! mispredictions avoided.
+//!
+//! Timeline runs are live by construction (the fetch timeline consumes
+//! the event stream cycle by cycle), so this experiment bypasses the
+//! trace cache and fans out raw jobs instead of predictor cells.
 
 use predbranch_core::{build_predictor, HarnessConfig, InsertFilter, PredictionHarness};
 use predbranch_sim::{Executor, PipelineConfig, PipelineModel};
@@ -12,11 +16,59 @@ use predbranch_stats::{geometric_mean, Cell, Table};
 use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
 
 use super::{headline_specs, Artifact, Scale};
-use crate::runner::{compiled_suite, DEFAULT_LATENCY};
+use crate::runner::{RunContext, DEFAULT_LATENCY};
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+struct TimelinePoint {
+    cycles: u64,
+    ipc: f64,
+    /// Closed-form cross-check, computed for the baseline column only.
+    model_ipc: Option<f64>,
+}
+
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let specs = headline_specs();
     let pipe = PipelineConfig::default();
+    let entries = ctx.suite(scale.limit);
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> TimelinePoint + Send>> = Vec::new();
+    for entry in entries.iter() {
+        for (i, (_, spec)) in specs.iter().enumerate() {
+            let program = entry.compiled.predicated.clone();
+            let input = entry.eval_input();
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                let mut harness = PredictionHarness::new(
+                    build_predictor(&spec),
+                    HarnessConfig {
+                        resolve_latency: DEFAULT_LATENCY,
+                        insert: InsertFilter::All,
+                    },
+                )
+                .with_timeline(pipe);
+                let summary =
+                    Executor::new(&program, input).run(&mut harness, 2 * DEFAULT_MAX_INSTRUCTIONS);
+                assert!(summary.halted);
+                let timeline = *harness.timeline().expect("timeline attached");
+                let model_ipc = (i == 0).then(|| {
+                    let unconditional = summary.branches - summary.conditional_branches;
+                    PipelineModel::estimate(
+                        &pipe,
+                        summary.instructions,
+                        harness.metrics().all.mispredictions.get(),
+                        summary.taken_conditional + unconditional,
+                    )
+                    .ipc()
+                });
+                TimelinePoint {
+                    cycles: timeline.cycles(),
+                    ipc: timeline.ipc(),
+                    model_ipc,
+                }
+            }));
+        }
+    }
+    let points = ctx.map_batch(jobs);
+
     let mut table = Table::new(
         "F8: IPC and speedup over the gshare baseline (event-driven fetch timeline)",
         &[
@@ -29,41 +81,15 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
         ],
     );
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); specs.len() - 1];
-    for entry in compiled_suite(scale.limit) {
-        let mut cycles = Vec::with_capacity(specs.len());
-        let mut model_ipc = 0.0;
-        for (i, (_, spec)) in specs.iter().enumerate() {
-            let mut harness = PredictionHarness::new(
-                build_predictor(spec),
-                HarnessConfig {
-                    resolve_latency: DEFAULT_LATENCY,
-                    insert: InsertFilter::All,
-                },
-            )
-            .with_timeline(pipe);
-            let summary = Executor::new(&entry.compiled.predicated, entry.eval_input())
-                .run(&mut harness, 2 * DEFAULT_MAX_INSTRUCTIONS);
-            assert!(summary.halted);
-            let timeline = *harness.timeline().expect("timeline attached");
-            cycles.push((timeline.cycles(), timeline.ipc()));
-            if i == 0 {
-                let unconditional = summary.branches - summary.conditional_branches;
-                model_ipc = PipelineModel::estimate(
-                    &pipe,
-                    summary.instructions,
-                    harness.metrics().all.mispredictions.get(),
-                    summary.taken_conditional + unconditional,
-                )
-                .ipc();
-            }
-        }
-        let mut cells = vec![Cell::new(entry.compiled.name), Cell::float(cycles[0].1, 3)];
-        for (i, &(c, _)) in cycles.iter().enumerate().skip(1) {
-            let speedup = cycles[0].0 as f64 / c as f64;
+    for (row, entry) in entries.iter().enumerate() {
+        let slice = &points[row * specs.len()..(row + 1) * specs.len()];
+        let mut cells = vec![Cell::new(entry.compiled.name), Cell::float(slice[0].ipc, 3)];
+        for (i, point) in slice.iter().enumerate().skip(1) {
+            let speedup = slice[0].cycles as f64 / point.cycles as f64;
             speedups[i - 1].push(speedup);
             cells.push(Cell::float(speedup, 4));
         }
-        cells.push(Cell::float(model_ipc, 3));
+        cells.push(Cell::float(slice[0].model_ipc.unwrap_or(0.0), 3));
         table.row(cells);
     }
     let mut gmean = vec![Cell::new("gmean"), Cell::new("-")];

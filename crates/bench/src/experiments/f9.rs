@@ -11,13 +11,36 @@ use predbranch_core::{InsertFilter, PredictorSpec};
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{compiled_suite, run_spec, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY, PGU_DELAY};
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let base = base_spec();
     let both_real = base.clone().with_sfpf().with_pgu(PGU_DELAY);
     let both_ideal = base.clone().with_sfpf().with_pgu(0);
     let oracle = PredictorSpec::OracleGuard;
+    // (column tag, spec, resolve latency); ideal timing = zero resolve
+    // latency and zero insertion delay
+    let configs = [
+        ("gshare", &base, DEFAULT_LATENCY),
+        ("real", &both_real, DEFAULT_LATENCY),
+        ("ideal", &both_ideal, 0),
+        ("oracle", &oracle, DEFAULT_LATENCY),
+    ];
+
+    let entries = ctx.suite(scale.limit);
+    let mut cells_in = Vec::with_capacity(entries.len() * configs.len());
+    for entry in entries.iter() {
+        for (tag, spec, latency) in &configs {
+            cells_in.push(CellSpec::predicated(
+                entry,
+                format!("f9/{}/{tag}", entry.compiled.name),
+                spec,
+                *latency,
+                InsertFilter::All,
+            ));
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
 
     let mut table = Table::new(
         "F9: misprediction rate (%) against the perfect-guard oracle",
@@ -31,22 +54,9 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
         ],
     );
     let mut captured_all = Vec::new();
-    for entry in compiled_suite(scale.limit) {
-        let run1 = |spec: &PredictorSpec, latency: u64| {
-            run_spec(
-                &entry.compiled.predicated,
-                entry.eval_input(),
-                spec,
-                latency,
-                InsertFilter::All,
-            )
-            .misp_percent()
-        };
-        let b = run1(&base, DEFAULT_LATENCY);
-        let real = run1(&both_real, DEFAULT_LATENCY);
-        // ideal timing: zero resolve latency and zero insertion delay
-        let ideal = run1(&both_ideal, 0);
-        let orc = run1(&oracle, DEFAULT_LATENCY);
+    for (row, entry) in entries.iter().enumerate() {
+        let rate = |col: usize| outs[row * configs.len() + col].misp_percent();
+        let (b, real, ideal, orc) = (rate(0), rate(1), rate(2), rate(3));
         let captured = if b > 1e-9 {
             100.0 * (b - real) / (b - orc).max(1e-9)
         } else {

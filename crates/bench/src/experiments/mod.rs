@@ -10,7 +10,7 @@ use std::fmt;
 use predbranch_core::PredictorSpec;
 use predbranch_stats::{Series, Table};
 
-use crate::runner::PGU_DELAY;
+use crate::runner::{RunContext, PGU_DELAY};
 
 mod f1;
 mod f10;
@@ -84,8 +84,10 @@ pub struct Experiment {
     pub id: &'static str,
     /// Human-readable title.
     pub title: &'static str,
-    /// Produces the artifacts.
-    pub run: fn(&Scale) -> Vec<Artifact>,
+    /// Produces the artifacts. Runs its grid through the given
+    /// [`RunContext`] (pool, trace cache, checkpoint, manifest); output
+    /// is identical at any `--jobs` level.
+    pub run: fn(&RunContext, &Scale) -> Vec<Artifact>,
 }
 
 /// All experiments, in DESIGN.md order.
@@ -220,9 +222,10 @@ mod tests {
 
     #[test]
     fn every_experiment_runs_at_quick_scale() {
+        let ctx = RunContext::new();
         let scale = Scale::quick();
         for exp in all_experiments() {
-            let artifacts = (exp.run)(&scale);
+            let artifacts = (exp.run)(&ctx, &scale);
             assert!(!artifacts.is_empty(), "{} produced nothing", exp.id);
             for a in &artifacts {
                 let text = a.to_string();
@@ -238,7 +241,7 @@ mod tests {
     }
 
     fn quick_artifacts(id: &str) -> Vec<Artifact> {
-        (find_experiment(id).unwrap().run)(&Scale::quick())
+        (find_experiment(id).unwrap().run)(&RunContext::new(), &Scale::quick())
     }
 
     fn table_of(artifacts: &[Artifact], idx: usize) -> &Table {

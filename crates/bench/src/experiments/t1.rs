@@ -11,9 +11,40 @@ use predbranch_stats::{Cell, Table};
 use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
 
 use super::{Artifact, Scale};
-use crate::runner::compiled_suite;
+use crate::runner::RunContext;
 
-pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
+struct Characterization {
+    plain: predbranch_sim::RunSummary,
+    pred: predbranch_sim::RunSummary,
+    region_percent: f64,
+}
+
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
+    let entries = ctx.suite(scale.limit);
+    let jobs = entries
+        .iter()
+        .map(|entry| {
+            let plain_program = entry.compiled.plain.clone();
+            let pred_program = entry.compiled.predicated.clone();
+            let input = entry.eval_input();
+            let job: Box<dyn FnOnce() -> Characterization + Send> = Box::new(move || {
+                let mut plain_metrics = ExecMetrics::new();
+                let plain = Executor::new(&plain_program, input.clone())
+                    .run(&mut plain_metrics, DEFAULT_MAX_INSTRUCTIONS);
+                let mut pred_metrics = ExecMetrics::new();
+                let pred = Executor::new(&pred_program, input)
+                    .run(&mut pred_metrics, DEFAULT_MAX_INSTRUCTIONS);
+                Characterization {
+                    plain,
+                    pred,
+                    region_percent: pred_metrics.region_fraction().percent(),
+                }
+            });
+            job
+        })
+        .collect();
+    let rows = ctx.map_batch(jobs);
+
     let mut table = Table::new(
         "T1: workload characterization (plain vs if-converted)",
         &[
@@ -29,27 +60,21 @@ pub(crate) fn run(scale: &Scale) -> Vec<Artifact> {
             "pdefs/1k",
         ],
     );
-    for entry in compiled_suite(scale.limit) {
-        let mut plain_metrics = ExecMetrics::new();
-        let plain = Executor::new(&entry.compiled.plain, entry.eval_input())
-            .run(&mut plain_metrics, DEFAULT_MAX_INSTRUCTIONS);
-        let mut pred_metrics = ExecMetrics::new();
-        let pred = Executor::new(&entry.compiled.predicated, entry.eval_input())
-            .run(&mut pred_metrics, DEFAULT_MAX_INSTRUCTIONS);
-
+    for (entry, c) in entries.iter().zip(rows) {
         let removed = 100.0
-            * (1.0 - pred.conditional_branches as f64 / plain.conditional_branches.max(1) as f64);
-        let pdefs_per_k = pred.pred_writes as f64 * 1000.0 / pred.instructions.max(1) as f64;
+            * (1.0
+                - c.pred.conditional_branches as f64 / c.plain.conditional_branches.max(1) as f64);
+        let pdefs_per_k = c.pred.pred_writes as f64 * 1000.0 / c.pred.instructions.max(1) as f64;
         table.row(vec![
             Cell::new(entry.compiled.name),
             Cell::count(u64::from(entry.compiled.plain.len())),
             Cell::count(u64::from(entry.compiled.predicated.len())),
-            Cell::count(plain.instructions),
-            Cell::count(pred.instructions),
-            Cell::count(plain.conditional_branches),
-            Cell::count(pred.conditional_branches),
+            Cell::count(c.plain.instructions),
+            Cell::count(c.pred.instructions),
+            Cell::count(c.plain.conditional_branches),
+            Cell::count(c.pred.conditional_branches),
             Cell::percent(removed),
-            Cell::percent(pred_metrics.region_fraction().percent()),
+            Cell::percent(c.region_percent),
             Cell::float(pdefs_per_k, 1),
         ]);
     }

@@ -5,9 +5,9 @@ use predbranch_sim::PipelineConfig;
 use predbranch_stats::{Cell, Table};
 
 use super::{headline_specs, Artifact, Scale};
-use crate::runner::{DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{RunContext, DEFAULT_LATENCY, PGU_DELAY};
 
-pub(crate) fn run(_scale: &Scale) -> Vec<Artifact> {
+pub(crate) fn run(_ctx: &RunContext, _scale: &Scale) -> Vec<Artifact> {
     let pipe = PipelineConfig::default();
     let mut machine = Table::new("T2a: machine configuration", &["parameter", "value"]);
     for (name, value) in [

@@ -1,10 +1,14 @@
 //! Experiment harness: regenerates every table and figure of the study.
 //!
 //! Each experiment in [`experiments`] is a pure function from a
-//! [`Scale`] to text artifacts ([`predbranch_stats::Table`] /
-//! [`predbranch_stats::Series`]); the `experiments` binary prints them,
-//! the Criterion benches time them, and EXPERIMENTS.md records their
-//! output against the paper's claims.
+//! ([`runner::RunContext`], [`Scale`]) pair to text artifacts
+//! ([`predbranch_stats::Table`] / [`predbranch_stats::Series`]); the
+//! `experiments` binary prints them, the Criterion benches time them,
+//! and EXPERIMENTS.md records their output against the paper's claims.
+//! The context carries the sweep machinery — worker pool, trace cache,
+//! checkpoint journal, manifest — and experiments decompose their grids
+//! into [`runner::CellSpec`]s so output stays byte-identical at any
+//! `--jobs` level.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,4 +18,7 @@ pub mod experiments;
 pub mod runner;
 
 pub use experiments::{all_experiments, Artifact, Experiment, Scale};
-pub use runner::{compiled_suite, run_spec, RunOutcome, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY};
+pub use runner::{
+    compiled_suite, run_spec, CellSpec, RunContext, RunOutcome, RunStats, SuiteEntry,
+    DEFAULT_LATENCY, PGU_DELAY,
+};

@@ -1,8 +1,26 @@
 //! Shared run machinery for the experiments.
+//!
+//! The central type is [`RunContext`]: an explicit, cloneable handle
+//! threaded through every experiment module that owns the sweep's
+//! worker pool, the optional on-disk trace cache, the optional
+//! checkpoint journal, and the optional run manifest. It replaces the
+//! old process-global `static TRACE_CACHE: Mutex<Option<TraceCache>>`,
+//! which both serialized all access behind one poisoning lock (a
+//! panicking experiment wedged every later run) and made parallel
+//! sweeps impossible to reason about.
+//!
+//! Experiments decompose their grids into [`CellSpec`]s — one
+//! (program, input, predictor spec, machine options) point each — and
+//! call [`RunContext::run_cells`], which executes the cells on the
+//! work-stealing pool and returns outcomes **in submission order**.
+//! Because every cell is a pure function of its spec, aggregation over
+//! that vector is byte-identical to the sequential loop it replaced, at
+//! any `--jobs N`.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use predbranch_core::{
     build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictionMetrics,
@@ -10,7 +28,8 @@ use predbranch_core::{
 };
 use predbranch_isa::Program;
 use predbranch_sim::{Executor, Memory, RunSummary};
-use predbranch_trace::{CacheKey, TraceCache};
+use predbranch_sweep::{CellRecord, CellSource, Checkpoint, Json, ManifestBuilder, WorkerPool};
+use predbranch_trace::{memory_fingerprint, program_hash, CacheKey, TraceCache};
 use predbranch_workloads::{
     compile_benchmark, suite, Benchmark, CompileOptions, CompiledBenchmark,
     DEFAULT_MAX_INSTRUCTIONS, EVAL_SEED,
@@ -24,37 +43,8 @@ pub const DEFAULT_LATENCY: u64 = 8;
 /// the history register one resolve latency after the defining compare.
 pub const PGU_DELAY: u64 = 8;
 
-static TRACE_CACHE: Mutex<Option<TraceCache>> = Mutex::new(None);
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
-
-/// Routes every subsequent [`run_spec`] call through an on-disk trace
-/// cache rooted at `dir` (creating it if needed): each distinct
-/// (binary, input, budget) is executed through the functional simulator
-/// at most once per cache lifetime, and every further predictor run
-/// replays the recorded event stream. Keys are content-addressed
-/// ([`CacheKey::for_run`]), so results are numerically identical to
-/// live simulation.
-pub fn set_trace_cache(dir: impl AsRef<Path>) -> std::io::Result<()> {
-    let cache = TraceCache::open(dir.as_ref())?;
-    *TRACE_CACHE.lock().unwrap() = Some(cache);
-    CACHE_HITS.store(0, Ordering::Relaxed);
-    CACHE_MISSES.store(0, Ordering::Relaxed);
-    Ok(())
-}
-
-/// Turns the trace cache back off; subsequent runs execute live.
-pub fn clear_trace_cache() {
-    *TRACE_CACHE.lock().unwrap() = None;
-}
-
-/// (replays, recordings) performed since [`set_trace_cache`].
-pub fn trace_cache_stats() -> (u64, u64) {
-    (
-        CACHE_HITS.load(Ordering::Relaxed),
-        CACHE_MISSES.load(Ordering::Relaxed),
-    )
-}
+/// Instruction budget for every experiment cell.
+const CELL_BUDGET: u64 = 2 * DEFAULT_MAX_INSTRUCTIONS;
 
 /// A benchmark plus its two compiled binaries.
 #[derive(Debug)]
@@ -87,7 +77,7 @@ pub fn compiled_suite(limit: Option<usize>) -> Vec<SuiteEntry> {
 }
 
 /// The result of one predictor × binary run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOutcome {
     /// Prediction metrics by branch class.
     pub metrics: PredictionMetrics,
@@ -118,13 +108,406 @@ impl RunOutcome {
     }
 }
 
-/// Runs one predictor spec over one binary with the study's default
-/// resolve latency and the given insertion filter.
+/// One point of an experiment grid: a binary, an input, a predictor
+/// spec, and the machine options — everything that determines a
+/// [`RunOutcome`]. Cells own their data (`'static`) so they can migrate
+/// across worker threads.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Manifest/checkpoint display label, e.g. `f3/gzip/+PGU`.
+    pub label: String,
+    /// Trace-cache file label — shared by every cell over the same
+    /// (binary, input) so the cache stores one trace per execution, not
+    /// one per predictor config. Typically `"<bench>-<variant>"`.
+    pub cache_label: String,
+    /// The compiled binary to run.
+    pub program: Program,
+    /// The input image.
+    pub memory: Memory,
+    /// Predictor configuration.
+    pub spec: PredictorSpec,
+    /// Scoreboard resolve latency (fetch slots).
+    pub resolve_latency: u64,
+    /// Which predicate definitions reach the predictor.
+    pub insert: InsertFilter,
+}
+
+impl CellSpec {
+    /// A cell over a suite entry's *predicated* binary and its
+    /// evaluation input.
+    pub fn predicated(
+        entry: &SuiteEntry,
+        label: impl Into<String>,
+        spec: &PredictorSpec,
+        resolve_latency: u64,
+        insert: InsertFilter,
+    ) -> Self {
+        CellSpec {
+            label: label.into(),
+            cache_label: format!("{}-pred", entry.compiled.name),
+            program: entry.compiled.predicated.clone(),
+            memory: entry.eval_input(),
+            spec: spec.clone(),
+            resolve_latency,
+            insert,
+        }
+    }
+
+    /// A cell over a suite entry's *plain* binary and its evaluation
+    /// input.
+    pub fn plain(
+        entry: &SuiteEntry,
+        label: impl Into<String>,
+        spec: &PredictorSpec,
+        resolve_latency: u64,
+        insert: InsertFilter,
+    ) -> Self {
+        CellSpec {
+            label: label.into(),
+            cache_label: format!("{}-plain", entry.compiled.name),
+            program: entry.compiled.plain.clone(),
+            memory: entry.eval_input(),
+            spec: spec.clone(),
+            resolve_latency,
+            insert,
+        }
+    }
+
+    /// A cell over the predicated binary with a non-default input seed
+    /// (seed-stability experiments).
+    pub fn seeded(
+        entry: &SuiteEntry,
+        label: impl Into<String>,
+        seed: u64,
+        spec: &PredictorSpec,
+        resolve_latency: u64,
+        insert: InsertFilter,
+    ) -> Self {
+        CellSpec {
+            label: label.into(),
+            cache_label: format!("{}-pred-{seed:x}", entry.compiled.name),
+            program: entry.compiled.predicated.clone(),
+            memory: entry.bench.input(seed),
+            spec: spec.clone(),
+            resolve_latency,
+            insert,
+        }
+    }
+
+    /// The cell's stable, content-addressed checkpoint key: a digest of
+    /// the program encoding, input image, budget, machine options, and
+    /// predictor spec. Equal keys ⇒ equal outcomes, so a resumed sweep
+    /// may trust a checkpointed result with this key no matter which
+    /// experiment, process, or `--jobs` level produced it.
+    pub fn key(&self) -> String {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                digest ^= u64::from(b);
+                digest = digest.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(&program_hash(&self.program).to_le_bytes());
+        mix(&memory_fingerprint(&self.memory).to_le_bytes());
+        mix(&CELL_BUDGET.to_le_bytes());
+        mix(&self.resolve_latency.to_le_bytes());
+        mix(format!("{:?}", self.spec).as_bytes());
+        match &self.insert {
+            InsertFilter::All => mix(b"insert:all"),
+            InsertFilter::None => mix(b"insert:none"),
+            InsertFilter::Pcs(pcs) => {
+                mix(b"insert:pcs");
+                let mut sorted: Vec<u32> = pcs.iter().copied().collect();
+                sorted.sort_unstable();
+                for pc in sorted {
+                    mix(&pc.to_le_bytes());
+                }
+            }
+        }
+        format!("v1-{digest:016x}")
+    }
+}
+
+/// Sweep-level counters (all monotone, all thread-safe).
+#[derive(Debug, Default)]
+struct RunCounters {
+    /// Trace-cache replays.
+    replays: AtomicU64,
+    /// Trace-cache recordings (cold executions through the cache).
+    recordings: AtomicU64,
+    /// Cells restored from the checkpoint journal without running.
+    checkpoint_hits: AtomicU64,
+    /// Cells executed live (no cache attached).
+    live_runs: AtomicU64,
+}
+
+/// A snapshot of [`RunContext`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Trace-cache replays.
+    pub replays: u64,
+    /// Trace-cache recordings.
+    pub recordings: u64,
+    /// Cells restored from the checkpoint journal.
+    pub checkpoint_hits: u64,
+    /// Cells executed live (no cache attached).
+    pub live_runs: u64,
+}
+
+/// Compiled-suite memo: one shared suite per `limit` value.
+type SuiteMemo = Vec<(Option<usize>, Arc<Vec<SuiteEntry>>)>;
+
+/// The sweep's execution context: worker pool, trace cache, checkpoint
+/// journal, and manifest recorder, threaded explicitly through every
+/// experiment. Cloning is cheap (shared handles) and clones observe the
+/// same counters — workers receive a clone each, which is how every
+/// worker gets its own [`TraceCache`] handle without a global lock.
+#[derive(Debug, Clone, Default)]
+pub struct RunContext {
+    pool: Option<Arc<WorkerPool>>,
+    cache: Option<TraceCache>,
+    checkpoint: Option<Arc<Checkpoint>>,
+    manifest: Option<Arc<ManifestBuilder>>,
+    counters: Arc<RunCounters>,
+    suites: Arc<Mutex<SuiteMemo>>,
+}
+
+impl RunContext {
+    /// A sequential context with no cache, checkpoint, or manifest —
+    /// the exact behavior of the pre-sweep harness.
+    pub fn new() -> Self {
+        RunContext::default()
+    }
+
+    /// Executes cells on `jobs` concurrent lanes (1 = sequential,
+    /// spawning no threads; `n ≥ 2` spawns `n - 1` workers and the
+    /// submitting thread helps).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.pool = if jobs >= 2 {
+            Some(Arc::new(WorkerPool::new(jobs)))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Routes every cell through an on-disk trace cache rooted at `dir`
+    /// (creating it if needed): each distinct (binary, input, budget)
+    /// is executed through the functional simulator at most once per
+    /// cache lifetime, and every further predictor run replays the
+    /// recorded event stream. Keys are content-addressed
+    /// ([`CacheKey::for_run`]), so results are numerically identical to
+    /// live simulation.
+    pub fn with_trace_cache(mut self, dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        self.cache = Some(TraceCache::open(dir.as_ref())?);
+        Ok(self)
+    }
+
+    /// Journals every completed cell to `path` and, on reopen, restores
+    /// completed cells instead of re-running them — interrupted sweeps
+    /// resume from where they died.
+    pub fn with_checkpoint(mut self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        self.checkpoint = Some(Arc::new(Checkpoint::open(path.as_ref().to_path_buf())?));
+        Ok(self)
+    }
+
+    /// Records every cell (label, key, source, wall-clock) into
+    /// `manifest` for the final run record.
+    pub fn with_manifest(mut self, manifest: ManifestBuilder) -> Self {
+        self.manifest = Some(Arc::new(manifest));
+        self
+    }
+
+    /// The configured parallelism.
+    pub fn jobs(&self) -> usize {
+        self.pool.as_ref().map_or(1, |pool| pool.jobs())
+    }
+
+    /// Whether a trace cache is attached.
+    pub fn has_trace_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The manifest recorder, when one is attached.
+    pub fn manifest(&self) -> Option<&ManifestBuilder> {
+        self.manifest.as_deref()
+    }
+
+    /// How many completed cells the checkpoint journal held when it was
+    /// opened (`None` without a checkpoint).
+    pub fn checkpoint_loaded(&self) -> Option<usize> {
+        self.checkpoint.as_ref().map(|c| c.loaded())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            replays: self.counters.replays.load(Ordering::Relaxed),
+            recordings: self.counters.recordings.load(Ordering::Relaxed),
+            checkpoint_hits: self.counters.checkpoint_hits.load(Ordering::Relaxed),
+            live_runs: self.counters.live_runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// (replays, recordings) against the trace cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let stats = self.stats();
+        (stats.replays, stats.recordings)
+    }
+
+    /// The compiled suite, memoized per `limit` so a multi-experiment
+    /// sweep compiles each benchmark once instead of once per
+    /// experiment.
+    pub fn suite(&self, limit: Option<usize>) -> Arc<Vec<SuiteEntry>> {
+        let mut suites = self
+            .suites
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((_, entries)) = suites.iter().find(|(l, _)| *l == limit) {
+            return Arc::clone(entries);
+        }
+        let entries = Arc::new(compiled_suite(limit));
+        suites.push((limit, Arc::clone(&entries)));
+        entries
+    }
+
+    /// Runs one cell: checkpoint lookup first, then trace-cache replay
+    /// or record, then live execution — whichever applies first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails to halt within the suite instruction
+    /// budget (suite programs always halt; a hang is a harness bug).
+    pub fn run_cell(&self, cell: &CellSpec) -> RunOutcome {
+        let key = cell.key();
+        if let Some(checkpoint) = &self.checkpoint {
+            if let Some(outcome) = checkpoint.lookup(&key).and_then(outcome_from_json) {
+                self.counters
+                    .checkpoint_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                self.record_manifest(cell, &key, 0, CellSource::Checkpoint);
+                return outcome;
+            }
+        }
+        let started = Instant::now();
+        let (outcome, source) = self.execute(cell);
+        let wall_ms = started.elapsed().as_millis() as u64;
+        if let Some(checkpoint) = &self.checkpoint {
+            if let Err(e) = checkpoint.record(&key, wall_ms, &outcome_to_json(&outcome)) {
+                eprintln!(
+                    "warning: checkpoint append failed for {} ({e}); cell will re-run on resume",
+                    cell.label
+                );
+            }
+        }
+        self.record_manifest(cell, &key, wall_ms, source);
+        outcome
+    }
+
+    /// Runs a grid of cells, in parallel when a pool is attached, and
+    /// returns outcomes **in submission order** — the vector is
+    /// positionally identical to `cells.iter().map(|c|
+    /// ctx.run_cell(c))` at any worker count.
+    pub fn run_cells(&self, cells: Vec<CellSpec>) -> Vec<RunOutcome> {
+        match &self.pool {
+            Some(pool) if cells.len() > 1 => {
+                let jobs = cells
+                    .into_iter()
+                    .map(|cell| {
+                        let ctx = self.clone();
+                        let job: Box<dyn FnOnce() -> RunOutcome + Send> =
+                            Box::new(move || ctx.run_cell(&cell));
+                        job
+                    })
+                    .collect();
+                pool.run_batch(jobs)
+            }
+            _ => cells.iter().map(|cell| self.run_cell(cell)).collect(),
+        }
+    }
+
+    /// Runs arbitrary owned jobs on the pool (sequentially without
+    /// one), results in submission order. For experiment work that is
+    /// not a predictor cell — custom sinks, recompilation sweeps —
+    /// which wants the same determinism-under-parallelism contract but
+    /// no caching or checkpointing.
+    pub fn map_batch<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        match &self.pool {
+            Some(pool) => pool.run_batch(jobs),
+            None => jobs.into_iter().map(|job| job()).collect(),
+        }
+    }
+
+    fn execute(&self, cell: &CellSpec) -> (RunOutcome, CellSource) {
+        let predictor = build_predictor(&cell.spec);
+        let mut harness = PredictionHarness::new(
+            predictor,
+            HarnessConfig {
+                resolve_latency: cell.resolve_latency,
+                insert: cell.insert.clone(),
+            },
+        );
+        let (summary, source) = match &self.cache {
+            Some(cache) => {
+                let key =
+                    CacheKey::for_run(&cell.cache_label, &cell.program, &cell.memory, CELL_BUDGET);
+                let (summary, hit) = cache
+                    .replay_or_record(
+                        &key,
+                        &cell.program,
+                        cell.memory.clone(),
+                        CELL_BUDGET,
+                        &mut harness,
+                    )
+                    .expect("trace cache I/O failed");
+                if hit {
+                    self.counters.replays.fetch_add(1, Ordering::Relaxed);
+                    (summary, CellSource::Replayed)
+                } else {
+                    self.counters.recordings.fetch_add(1, Ordering::Relaxed);
+                    (summary, CellSource::Recorded)
+                }
+            }
+            None => {
+                self.counters.live_runs.fetch_add(1, Ordering::Relaxed);
+                let summary = Executor::new(&cell.program, cell.memory.clone())
+                    .run(&mut harness, CELL_BUDGET);
+                (summary, CellSource::Live)
+            }
+        };
+        assert!(summary.halted, "experiment program did not halt");
+        (
+            RunOutcome {
+                metrics: *harness.metrics(),
+                summary,
+            },
+            source,
+        )
+    }
+
+    fn record_manifest(&self, cell: &CellSpec, key: &str, wall_ms: u64, source: CellSource) {
+        if let Some(manifest) = &self.manifest {
+            manifest.record_cell(CellRecord {
+                key: key.to_string(),
+                label: cell.label.clone(),
+                wall_ms,
+                source,
+            });
+        }
+    }
+}
+
+/// Runs one predictor spec over one binary, live (no cache, no
+/// context) — the primitive the experiments used before the sweep
+/// existed, kept for benches, doc examples, and one-off probes.
 ///
 /// # Panics
 ///
 /// Panics if the program fails to halt within the suite instruction
-/// budget (suite programs always halt; a hang is a harness bug).
+/// budget.
 pub fn run_spec(
     program: &Program,
     memory: Memory,
@@ -132,33 +515,94 @@ pub fn run_spec(
     resolve_latency: u64,
     insert: InsertFilter,
 ) -> RunOutcome {
-    let predictor = build_predictor(spec);
     let mut harness = PredictionHarness::new(
-        predictor,
+        build_predictor(spec),
         HarnessConfig {
             resolve_latency,
             insert,
         },
     );
-    let budget = 2 * DEFAULT_MAX_INSTRUCTIONS;
-    let cache = TRACE_CACHE.lock().unwrap().clone();
-    let summary = match cache {
-        Some(cache) => {
-            let key = CacheKey::for_run("run", program, &memory, budget);
-            let (summary, hit) = cache
-                .replay_or_record(&key, program, memory, budget, &mut harness)
-                .expect("trace cache I/O failed");
-            let counter = if hit { &CACHE_HITS } else { &CACHE_MISSES };
-            counter.fetch_add(1, Ordering::Relaxed);
-            summary
-        }
-        None => Executor::new(program, memory).run(&mut harness, budget),
-    };
+    let summary = Executor::new(program, memory).run(&mut harness, CELL_BUDGET);
     assert!(summary.halted, "experiment program did not halt");
     RunOutcome {
         metrics: *harness.metrics(),
         summary,
     }
+}
+
+fn counts_json(counts: &predbranch_core::ClassCounts) -> Json {
+    Json::Arr(vec![
+        Json::from(counts.branches.get()),
+        Json::from(counts.mispredictions.get()),
+    ])
+}
+
+fn counts_from_json(json: &Json) -> Option<predbranch_core::ClassCounts> {
+    let items = json.as_arr()?;
+    match items {
+        [branches, mispredictions] => Some(predbranch_core::ClassCounts {
+            branches: predbranch_stats::Counter::with_value(branches.as_u64()?),
+            mispredictions: predbranch_stats::Counter::with_value(mispredictions.as_u64()?),
+        }),
+        _ => None,
+    }
+}
+
+/// Serializes an outcome for the checkpoint journal. All counts are far
+/// below 2^53, so the JSON number representation is exact.
+pub fn outcome_to_json(outcome: &RunOutcome) -> Json {
+    let m = &outcome.metrics;
+    let s = &outcome.summary;
+    Json::obj()
+        .field(
+            "metrics",
+            Json::obj()
+                .field("all", counts_json(&m.all))
+                .field("region", counts_json(&m.region))
+                .field("non_region", counts_json(&m.non_region))
+                .field("kf", m.known_false_guard.get())
+                .field("kfm", m.known_false_mispredicted.get())
+                .field("pw", m.pred_writes.get()),
+        )
+        .field(
+            "summary",
+            Json::obj()
+                .field("instructions", s.instructions)
+                .field("branches", s.branches)
+                .field("conditional", s.conditional_branches)
+                .field("region", s.region_branches)
+                .field("taken_cond", s.taken_conditional)
+                .field("pred_writes", s.pred_writes)
+                .field("halted", s.halted),
+        )
+}
+
+/// Restores an outcome from its journal form; `None` on any shape
+/// mismatch (the cell then simply re-runs).
+pub fn outcome_from_json(json: &Json) -> Option<RunOutcome> {
+    let m = json.get("metrics")?;
+    let s = json.get("summary")?;
+    let counter = |j: &Json, key: &str| -> Option<predbranch_stats::Counter> {
+        Some(predbranch_stats::Counter::with_value(j.get(key)?.as_u64()?))
+    };
+    let metrics = PredictionMetrics {
+        all: counts_from_json(m.get("all")?)?,
+        region: counts_from_json(m.get("region")?)?,
+        non_region: counts_from_json(m.get("non_region")?)?,
+        known_false_guard: counter(m, "kf")?,
+        known_false_mispredicted: counter(m, "kfm")?,
+        pred_writes: counter(m, "pw")?,
+    };
+    let summary = RunSummary {
+        instructions: s.get("instructions")?.as_u64()?,
+        branches: s.get("branches")?.as_u64()?,
+        conditional_branches: s.get("conditional")?.as_u64()?,
+        region_branches: s.get("region")?.as_u64()?,
+        taken_conditional: s.get("taken_cond")?.as_u64()?,
+        pred_writes: s.get("pred_writes")?.as_u64()?,
+        halted: matches!(s.get("halted"), Some(Json::Bool(true))),
+    };
+    Some(RunOutcome { metrics, summary })
 }
 
 #[cfg(test)]
@@ -174,18 +618,92 @@ mod tests {
 
     #[test]
     fn run_outcome_accessors_consistent() {
-        let entries = compiled_suite(Some(1));
-        let e = &entries[0];
-        let out = run_spec(
-            &e.compiled.predicated,
-            e.eval_input(),
+        let ctx = RunContext::new();
+        let entries = ctx.suite(Some(1));
+        let cell = CellSpec::predicated(
+            &entries[0],
+            "test/static",
             &PredictorSpec::StaticNotTaken,
             DEFAULT_LATENCY,
             InsertFilter::All,
         );
+        let out = ctx.run_cell(&cell);
         assert!(out.summary.halted);
         assert!(out.misp_percent() >= 0.0);
         assert!(out.taken_branches() <= out.summary.branches);
         assert!(out.mpki() >= 0.0);
+        assert_eq!(ctx.stats().live_runs, 1);
+    }
+
+    #[test]
+    fn suite_is_memoized_per_limit() {
+        let ctx = RunContext::new();
+        let a = ctx.suite(Some(1));
+        let b = ctx.suite(Some(1));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = ctx.suite(Some(2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn cell_keys_are_stable_and_discriminating() {
+        let ctx = RunContext::new();
+        let entries = ctx.suite(Some(1));
+        let base = CellSpec::predicated(
+            &entries[0],
+            "a",
+            &PredictorSpec::StaticNotTaken,
+            DEFAULT_LATENCY,
+            InsertFilter::All,
+        );
+        // the label is cosmetic: same content, same key
+        let relabeled = CellSpec {
+            label: "b".into(),
+            ..base.clone()
+        };
+        assert_eq!(base.key(), relabeled.key());
+        // but every content knob separates
+        let other_spec = CellSpec {
+            spec: PredictorSpec::StaticBtfn,
+            ..base.clone()
+        };
+        assert_ne!(base.key(), other_spec.key());
+        let other_latency = CellSpec {
+            resolve_latency: DEFAULT_LATENCY + 1,
+            ..base.clone()
+        };
+        assert_ne!(base.key(), other_latency.key());
+        let other_insert = CellSpec {
+            insert: InsertFilter::None,
+            ..base.clone()
+        };
+        assert_ne!(base.key(), other_insert.key());
+        let plain = CellSpec::plain(
+            &entries[0],
+            "a",
+            &PredictorSpec::StaticNotTaken,
+            DEFAULT_LATENCY,
+            InsertFilter::All,
+        );
+        assert_ne!(base.key(), plain.key());
+    }
+
+    #[test]
+    fn outcome_json_roundtrips_exactly() {
+        let ctx = RunContext::new();
+        let entries = ctx.suite(Some(1));
+        let cell = CellSpec::predicated(
+            &entries[0],
+            "test/roundtrip",
+            &PredictorSpec::StaticNotTaken,
+            DEFAULT_LATENCY,
+            InsertFilter::All,
+        );
+        let out = ctx.run_cell(&cell);
+        let json = outcome_to_json(&out);
+        let parsed = Json::parse(&json.render()).unwrap();
+        assert_eq!(outcome_from_json(&parsed), Some(out));
+        assert_eq!(outcome_from_json(&Json::Null), None);
+        assert_eq!(outcome_from_json(&Json::obj()), None);
     }
 }

@@ -15,7 +15,10 @@
 //! * [`workloads`] — eleven SPECint-2000-analog benchmarks;
 //! * [`stats`] — counters, histograms, and table/series rendering;
 //! * [`trace`] — binary trace record/replay with an on-disk trace
-//!   cache, so sweeps execute each (binary, input) once.
+//!   cache, so sweeps execute each (binary, input) once;
+//! * [`sweep`] — a deterministic work-stealing sweep engine (worker
+//!   pool, run manifests, resumable checkpoints) whose parallel output
+//!   is byte-identical to sequential.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@ pub use predbranch_core as core;
 pub use predbranch_isa as isa;
 pub use predbranch_sim as sim;
 pub use predbranch_stats as stats;
+pub use predbranch_sweep as sweep;
 pub use predbranch_trace as trace;
 pub use predbranch_workloads as workloads;
 
@@ -78,6 +82,7 @@ pub mod prelude {
     pub use predbranch_isa::{assemble, Gpr, PredReg, Program};
     pub use predbranch_sim::{Executor, Memory, PipelineConfig};
     pub use predbranch_stats::{Cell, Series, Table};
+    pub use predbranch_sweep::{Checkpoint, ManifestBuilder, WorkerPool};
     pub use predbranch_trace::{CacheKey, TraceCache, TraceReader, TraceWriter};
     pub use predbranch_workloads::{
         compile_benchmark, suite, CompileOptions, EVAL_SEED, TRAIN_SEED,

@@ -1,0 +1,55 @@
+//! Property tests for the scheduler's determinism contract: for any
+//! batch of pure jobs and any worker count, `run_batch` must return
+//! exactly what a sequential map would, in the same order.
+
+use proptest::prelude::*;
+
+use predbranch_sweep::WorkerPool;
+
+/// A deliberately order-sensitive pure function (mixes index and seed).
+fn cell(seed: u64, index: u64) -> u64 {
+    let mut x = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..(index % 7) {
+        x = x.rotate_left(13).wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_equals_sequential(
+        jobs in 1usize..9,
+        cells in 0usize..80,
+        seed in any::<u64>(),
+    ) {
+        let sequential: Vec<u64> = (0..cells as u64).map(|i| cell(seed, i)).collect();
+        let pool = WorkerPool::new(jobs);
+        let batch: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..cells as u64)
+            .map(|i| {
+                let job: Box<dyn FnOnce() -> u64 + Send> = Box::new(move || cell(seed, i));
+                job
+            })
+            .collect();
+        prop_assert_eq!(pool.run_batch(batch), sequential);
+    }
+
+    #[test]
+    fn repeated_batches_on_one_pool_stay_deterministic(
+        rounds in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let pool = WorkerPool::new(4);
+        let expected: Vec<u64> = (0..32).map(|i| cell(seed, i)).collect();
+        for _ in 0..rounds {
+            let batch: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..32)
+                .map(|i| {
+                    let job: Box<dyn FnOnce() -> u64 + Send> = Box::new(move || cell(seed, i));
+                    job
+                })
+                .collect();
+            prop_assert_eq!(pool.run_batch(batch), expected.clone());
+        }
+    }
+}

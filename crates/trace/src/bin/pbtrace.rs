@@ -7,6 +7,7 @@
 //! pbtrace info   <file.pbt>
 //! pbtrace dump   <file.pbt> [--limit N]
 //! pbtrace verify <file.pbt>
+//! pbtrace stats  <dir>
 //! pbtrace list
 //! ```
 //!
@@ -14,6 +15,8 @@
 //! executes it once, streaming the event trace to disk. `info` prints
 //! the provenance header and footer statistics, `dump` prints events as
 //! text, `verify` fully checks structure, event count, and checksum.
+//! `stats` summarizes a trace-cache directory: entry count, total
+//! bytes, and a per-benchmark breakdown.
 
 use std::fs;
 use std::process::ExitCode;
@@ -29,6 +32,7 @@ const USAGE: &str = "usage:
   pbtrace info   <file.pbt>
   pbtrace dump   <file.pbt> [--limit N]
   pbtrace verify <file.pbt>
+  pbtrace stats  <dir>
   pbtrace list";
 
 fn main() -> ExitCode {
@@ -38,6 +42,7 @@ fn main() -> ExitCode {
         Some("info") => info(&args[1..]),
         Some("dump") => dump(&args[1..]),
         Some("verify") => verify(&args[1..]),
+        Some("stats") => stats(&args[1..]),
         Some("list") => {
             for bench in suite() {
                 println!("{:<12} {}", bench.name(), bench.description());
@@ -227,6 +232,61 @@ fn verify(args: &[String]) -> Result<(), String> {
         stats.events, stats.checksum
     );
     Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let dir = match args {
+        [dir] if !dir.starts_with('-') => dir.clone(),
+        _ => return Err(format!("stats needs exactly one cache directory\n{USAGE}")),
+    };
+    let cache = predbranch_trace::TraceCache::open(&dir).map_err(|e| format!("{dir}: {e}"))?;
+    let entries = cache.scan().map_err(|e| format!("{dir}: {e}"))?;
+    if entries.is_empty() {
+        println!("{dir}: empty cache (0 entries)");
+        return Ok(());
+    }
+
+    // group by benchmark: the label's leading component ("gzip-pred-1f"
+    // → "gzip"); unreadable headers are grouped as "<corrupt>"
+    let mut per_bench: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut total_bytes = 0u64;
+    let mut corrupt = 0u64;
+    for entry in &entries {
+        total_bytes += entry.bytes;
+        let bench = match &entry.name {
+            Some(name) => name.split('-').next().unwrap_or(name).to_string(),
+            None => {
+                corrupt += 1;
+                "<corrupt>".to_string()
+            }
+        };
+        let slot = per_bench.entry(bench).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += entry.bytes;
+    }
+
+    println!("cache:     {dir}");
+    println!("entries:   {}", entries.len());
+    println!("bytes:     {total_bytes} ({})", human_bytes(total_bytes));
+    if corrupt > 0 {
+        println!("corrupt:   {corrupt} (unreadable headers)");
+    }
+    println!();
+    println!("{:<14} {:>8} {:>14}", "benchmark", "entries", "bytes");
+    for (bench, (count, bytes)) in &per_bench {
+        println!("{bench:<14} {count:>8} {bytes:>14}");
+    }
+    Ok(())
+}
+
+fn human_bytes(bytes: u64) -> String {
+    match bytes {
+        b if b >= 1 << 30 => format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64),
+        b if b >= 1 << 20 => format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64),
+        b if b >= 1 << 10 => format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64),
+        b => format!("{b} B"),
+    }
 }
 
 fn one_path(args: &[String]) -> Result<String, String> {

@@ -104,6 +104,17 @@ pub struct TraceCache {
     dir: PathBuf,
 }
 
+/// One sealed trace found by [`TraceCache::scan`].
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The sealed file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Benchmark label from the trace header (`None` if unreadable).
+    pub name: Option<String>,
+}
+
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 impl TraceCache {
@@ -176,8 +187,37 @@ impl TraceCache {
         Ok(reader.replay(sink)?.summary)
     }
 
-    /// Records a run to `path` via write-then-rename, teeing events into
-    /// `sink` as they happen.
+    /// Every sealed entry in the cache directory, sorted by file name
+    /// (skips temporaries and non-trace files). `name` is the
+    /// benchmark label from the trace header, or `None` when the file
+    /// is unreadable/corrupt — callers decide whether that matters.
+    pub fn scan(&self) -> io::Result<Vec<CacheEntry>> {
+        let mut entries = Vec::new();
+        for dirent in fs::read_dir(&self.dir)? {
+            let dirent = dirent?;
+            let path = dirent.path();
+            let file_name = dirent.file_name();
+            let file_name = file_name.to_string_lossy();
+            if file_name.starts_with('.') || !file_name.ends_with(".pbt") {
+                continue;
+            }
+            let bytes = dirent.metadata()?.len();
+            let name = TraceReader::open(&path)
+                .ok()
+                .map(|reader| reader.header().name.clone());
+            entries.push(CacheEntry { path, bytes, name });
+        }
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(entries)
+    }
+
+    /// Records a run to `path` via write-then-fsync-then-rename, teeing
+    /// events into `sink` as they happen. Publication is atomic: any
+    /// number of concurrent publishers may race on the same key (from
+    /// this or other threads/processes), each writes its own uniquely
+    /// named temporary, and whichever rename lands last simply
+    /// replaces an identical sealed file — readers never observe a
+    /// partial trace.
     fn record<S: EventSink>(
         &self,
         path: &Path,
@@ -204,6 +244,9 @@ impl TraceCache {
                 .into_inner()
                 .map_err(|e| io::Error::other(format!("flush failed: {e}")))?;
             file.flush()?;
+            // fsync before publishing: a crash after the rename must not
+            // leave a sealed name pointing at unwritten blocks
+            file.sync_all()?;
             drop(file);
             fs::rename(&tmp, path)?;
             Ok(summary)

@@ -51,7 +51,7 @@ mod reader;
 mod varint;
 mod writer;
 
-pub use cache::{CacheKey, TraceCache};
+pub use cache::{CacheEntry, CacheKey, TraceCache};
 pub use error::TraceError;
 pub use format::{memory_fingerprint, program_hash, TraceHeader, FORMAT_VERSION, MAGIC};
 pub use reader::{ReplayStats, TraceReader};

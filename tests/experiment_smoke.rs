@@ -1,12 +1,12 @@
 //! Smoke-tests every registered experiment at quick scale and checks the
 //! study's qualitative claims hold in the regenerated artifacts.
 
-use predbranch_bench::{all_experiments, Artifact, Scale};
+use predbranch_bench::{all_experiments, Artifact, RunContext, Scale};
 
 #[test]
 fn all_experiments_produce_artifacts() {
     for exp in all_experiments() {
-        let artifacts = (exp.run)(&Scale::quick());
+        let artifacts = (exp.run)(&RunContext::new(), &Scale::quick());
         assert!(!artifacts.is_empty(), "{}", exp.id);
         for artifact in &artifacts {
             assert!(!artifact.to_string().trim().is_empty());
@@ -17,7 +17,7 @@ fn all_experiments_produce_artifacts() {
 #[test]
 fn f3_headline_never_worsens_with_sfpf() {
     let exp = predbranch_bench::experiments::find_experiment("f3").unwrap();
-    let artifacts = (exp.run)(&Scale::quick());
+    let artifacts = (exp.run)(&RunContext::new(), &Scale::quick());
     let Artifact::Table(table) = &artifacts[0] else {
         panic!("f3 must produce a table");
     };
@@ -44,7 +44,7 @@ fn f3_headline_never_worsens_with_sfpf() {
 #[test]
 fn f2_known_false_shrinks_with_latency() {
     let exp = predbranch_bench::experiments::find_experiment("f2").unwrap();
-    let artifacts = (exp.run)(&Scale::quick());
+    let artifacts = (exp.run)(&RunContext::new(), &Scale::quick());
     let Artifact::Series(series) = &artifacts[0] else {
         panic!("f2 must lead with a series");
     };
@@ -60,7 +60,7 @@ fn f2_known_false_shrinks_with_latency() {
 #[test]
 fn f5_bigger_tables_do_not_hurt_baseline() {
     let exp = predbranch_bench::experiments::find_experiment("f5").unwrap();
-    let artifacts = (exp.run)(&Scale::quick());
+    let artifacts = (exp.run)(&RunContext::new(), &Scale::quick());
     let Artifact::Series(series) = &artifacts[0] else {
         panic!("f5 must produce a series");
     };
