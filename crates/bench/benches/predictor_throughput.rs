@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use predbranch_core::{
     build_predictor, BranchInfo, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec,
+    Timing,
 };
 use predbranch_sim::{Event, Executor, PredicateScoreboard, TraceSink};
 use predbranch_workloads::{compile_benchmark, suite, CompileOptions, EVAL_SEED};
@@ -85,13 +86,14 @@ fn bench_harness_end_to_end(c: &mut Criterion) {
             let mut harness = PredictionHarness::new(
                 build_predictor(&spec),
                 HarnessConfig {
-                    resolve_latency: 8,
+                    timing: Timing::immediate(8),
                     insert: InsertFilter::All,
                 },
             );
             let summary = Executor::new(&compiled.predicated, bench.input(EVAL_SEED))
                 .run(&mut harness, 4_000_000);
             assert!(summary.halted);
+            harness.finish();
             harness.metrics().all.mispredictions.get()
         })
     });

@@ -12,6 +12,9 @@
 //!                            # replay recorded traces for every predictor
 //! experiments --jobs 8 all   # run experiment cells on 8 worker lanes;
 //!                            # stdout is byte-identical to --jobs 1
+//! experiments --retire-latency 8 f3
+//!                            # commit predictor training 8 fetch slots
+//!                            # after each branch instead of immediately
 //! experiments --manifest run.json all
 //!                            # write a JSON run record (cells, sources,
 //!                            # wall-clock, cache traffic)
@@ -52,15 +55,19 @@ fn main() -> ExitCode {
             None => Ok(None),
         }
     };
-    let (trace_cache, jobs, manifest_path, checkpoint_path) = match (
+    let (trace_cache, jobs, manifest_path, checkpoint_path, retire) = match (
         valued("--trace-cache"),
         valued("--jobs"),
         valued("--manifest"),
         valued("--checkpoint"),
+        valued("--retire-latency"),
     ) {
-        (Ok(tc), Ok(j), Ok(m), Ok(c)) => (tc, j, m, c),
-        (tc, j, m, c) => {
-            for err in [tc.err(), j.err(), m.err(), c.err()].into_iter().flatten() {
+        (Ok(tc), Ok(j), Ok(m), Ok(c), Ok(r)) => (tc, j, m, c, r),
+        (tc, j, m, c, r) => {
+            for err in [tc.err(), j.err(), m.err(), c.err(), r.err()]
+                .into_iter()
+                .flatten()
+            {
                 eprintln!("{err}");
             }
             return ExitCode::FAILURE;
@@ -70,6 +77,13 @@ fn main() -> ExitCode {
         Ok(n) => n.unwrap_or(1).max(1),
         Err(e) => {
             eprintln!("--jobs needs a positive integer: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let retire: u64 = match retire.as_deref().map(str::parse).transpose() {
+        Ok(n) => n.unwrap_or(0),
+        Err(e) => {
+            eprintln!("--retire-latency needs a non-negative integer: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -110,13 +124,13 @@ fn main() -> ExitCode {
         );
         ctx = ctx.with_manifest(manifest);
     }
-    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let scale = if quick { Scale::quick() } else { Scale::full() }.with_retire(retire);
 
     if args.is_empty() {
         println!("experiments — regenerate the study's tables and figures\n");
         println!(
-            "usage: experiments [--quick] [--jobs N] [--trace-cache <dir>] \
-             [--manifest <file>] [--checkpoint <file>] <id>... | all\n"
+            "usage: experiments [--quick] [--jobs N] [--retire-latency R] \
+             [--trace-cache <dir>] [--manifest <file>] [--checkpoint <file>] <id>... | all\n"
         );
         for exp in all_experiments() {
             println!("  {:<4} {}", exp.id, exp.title);

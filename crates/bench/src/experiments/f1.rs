@@ -10,7 +10,7 @@ use predbranch_core::InsertFilter;
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext};
 
 pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let spec = base_spec();
@@ -22,14 +22,14 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
             entry,
             format!("f1/{name}/plain"),
             &spec,
-            DEFAULT_LATENCY,
+            scale.timing(),
             InsertFilter::All,
         ));
         cells.push(CellSpec::predicated(
             entry,
             format!("f1/{name}/pred"),
             &spec,
-            DEFAULT_LATENCY,
+            scale.timing(),
             InsertFilter::All,
         ));
     }

@@ -10,7 +10,7 @@ use predbranch_core::{guard_def_pcs, InsertFilter};
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, PGU_DELAY};
 
 const COLUMNS: usize = 5;
 
@@ -31,7 +31,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                 entry,
                 format!("f10/{}/{tag}", entry.compiled.name),
                 &base_spec().with_pgu(delay),
-                DEFAULT_LATENCY,
+                scale.timing(),
                 insert,
             ));
         }

@@ -15,7 +15,7 @@ use predbranch_stats::{mean, Cell, Table};
 use predbranch_workloads::{compile_benchmark, CompileOptions, CompiledBenchmark, IfConvertConfig};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{CellSpec, RunContext, RunOutcome, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, RunOutcome, SuiteEntry, PGU_DELAY};
 
 const THRESHOLDS: [f64; 5] = [0.55, 0.70, 0.85, 0.95, 1.01];
 
@@ -45,7 +45,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                     entry,
                     format!("f11/{}/reference", entry.compiled.name),
                     &base,
-                    DEFAULT_LATENCY,
+                    scale.timing(),
                     InsertFilter::All,
                 )
             })
@@ -90,7 +90,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                 &recompiled,
                 format!("f11/{name}/t{ti}/plain"),
                 &base,
-                DEFAULT_LATENCY,
+                scale.timing(),
                 InsertFilter::All,
             );
             plain_cell.cache_label = format!("{name}-plain-ifc{ti}");
@@ -100,7 +100,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                     &recompiled,
                     format!("f11/{name}/t{ti}/{tag}"),
                     spec,
-                    DEFAULT_LATENCY,
+                    scale.timing(),
                     InsertFilter::All,
                 );
                 cell.cache_label = format!("{name}-pred-ifc{ti}");

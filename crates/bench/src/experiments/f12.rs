@@ -9,7 +9,7 @@ use predbranch_core::{InsertFilter, PredictorSpec};
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext};
 
 fn policies() -> Vec<(&'static str, PredictorSpec)> {
     let base = base_spec();
@@ -47,7 +47,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                 entry,
                 format!("f12/{}/p{pi}", entry.compiled.name),
                 spec,
-                DEFAULT_LATENCY,
+                scale.timing(),
                 InsertFilter::All,
             ));
         }

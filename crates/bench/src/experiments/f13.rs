@@ -5,7 +5,7 @@
 //! between their ideal (latency 0: SFPF sees every guard, and the whole
 //! machine is effectively an oracle) and their useless extreme.
 
-use predbranch_core::InsertFilter;
+use predbranch_core::{InsertFilter, Timing};
 use predbranch_stats::{mean, Series};
 
 use super::{base_spec, Artifact, Scale};
@@ -30,7 +30,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                     entry,
                     format!("f13/{}/{label}/L{latency}", entry.compiled.name),
                     spec,
-                    latency,
+                    Timing::new(latency, scale.retire_latency),
                     InsertFilter::All,
                 ));
             }

@@ -11,7 +11,7 @@ use predbranch_core::InsertFilter;
 use predbranch_stats::{mean, Cell, Summary, Table};
 
 use super::{headline_specs, Artifact, Scale};
-use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext};
 
 const SEEDS: [u64; 5] = [11, 222, 3_333, 44_444, 555_555];
 
@@ -27,7 +27,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                     format!("f14/{}/{label}/s{seed}", entry.compiled.name),
                     seed,
                     spec,
-                    DEFAULT_LATENCY,
+                    scale.timing(),
                     InsertFilter::All,
                 ));
             }

@@ -92,7 +92,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                 entry,
                 format!("f15/{}/{sched}/{tag}", entry.compiled.name),
                 spec,
-                DEFAULT_LATENCY,
+                scale.timing(),
                 InsertFilter::All,
             );
             if vi % 2 == 1 {

@@ -1,0 +1,72 @@
+//! F16 — sensitivity to the commit (retire) latency (extension).
+//!
+//! The harness normally trains the predictor the moment a branch
+//! resolves (retire latency 0, the idealized immediate update every
+//! published figure uses). A real front end only updates non-speculative
+//! state at retire, several fetch slots later, speculating the history
+//! register at fetch and repairing it from a checkpoint on a squash.
+//! Sweeping the retire latency measures how much of the headline result
+//! that delay costs.
+//!
+//! The expected answer is *essentially nothing*, and the flat curves are
+//! the finding: the speculative history is architecturally exact at
+//! every fetch (correct predictions shift the true outcome; a
+//! misprediction's flush repairs the register before the next fetch),
+//! and a delayed two-bit-counter update can only matter if the entry is
+//! re-read while its training is in flight — but in-flight updates from
+//! correctly predicted branches only reinforce the counter's current
+//! direction, and a misprediction drains the window before the next
+//! prediction. So the headline configurations are insensitive to
+//! realistic update timing, which is what licenses comparing the
+//! idealized figures against hardware-style predictors at all.
+
+use predbranch_core::{InsertFilter, Timing};
+use predbranch_stats::{mean, Series};
+
+use super::{headline_specs, Artifact, Scale};
+use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
+
+const RETIRE_LATENCIES: [u64; 6] = [0, 1, 2, 4, 8, 16];
+
+pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
+    let entries = ctx.suite(scale.limit);
+    let specs = headline_specs();
+
+    let mut cells_in = Vec::with_capacity(RETIRE_LATENCIES.len() * specs.len() * entries.len());
+    for retire in RETIRE_LATENCIES {
+        for (label, spec) in &specs {
+            for entry in entries.iter() {
+                cells_in.push(CellSpec::predicated(
+                    entry,
+                    format!("f16/{}/{label}/R{retire}", entry.compiled.name),
+                    spec,
+                    Timing::new(DEFAULT_LATENCY, retire),
+                    InsertFilter::All,
+                ));
+            }
+        }
+    }
+    let outs = ctx.run_cells(cells_in);
+
+    let mut series = Series::new(
+        "F16: suite-mean misprediction rate (%) vs retire latency",
+        "retire",
+    );
+    for (label, _) in &specs {
+        series.line(*label);
+    }
+    let n = entries.len();
+    for (ri, retire) in RETIRE_LATENCIES.into_iter().enumerate() {
+        let mut ys = Vec::with_capacity(specs.len());
+        for si in 0..specs.len() {
+            let start = (ri * specs.len() + si) * n;
+            let rates: Vec<f64> = outs[start..start + n]
+                .iter()
+                .map(|out| out.misp_percent())
+                .collect();
+            ys.push(mean(&rates));
+        }
+        series.point(retire.to_string(), &ys);
+    }
+    vec![Artifact::Series(series)]
+}

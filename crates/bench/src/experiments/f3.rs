@@ -5,7 +5,7 @@ use predbranch_core::InsertFilter;
 use predbranch_stats::{geometric_mean, mean, Cell, Table};
 
 use super::{headline_specs, Artifact, Scale};
-use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext};
 
 pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let specs = headline_specs();
@@ -17,7 +17,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                 entry,
                 format!("f3/{}/{label}", entry.compiled.name),
                 spec,
-                DEFAULT_LATENCY,
+                scale.timing(),
                 InsertFilter::All,
             ));
         }

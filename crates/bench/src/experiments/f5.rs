@@ -12,7 +12,7 @@ use predbranch_core::{InsertFilter, PredictorSpec};
 use predbranch_stats::{mean, Series};
 
 use super::{Artifact, Scale};
-use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, PGU_DELAY};
 
 /// Swept table index widths; a `2^n`-entry table of 2-bit counters is
 /// `2^(n-2)` bytes.
@@ -49,7 +49,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                     entry,
                     format!("f5/{}/{config}/b{bits}", entry.compiled.name),
                     spec,
-                    DEFAULT_LATENCY,
+                    scale.timing(),
                     InsertFilter::All,
                 ));
             }

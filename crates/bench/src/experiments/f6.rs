@@ -13,7 +13,7 @@ use predbranch_stats::{mean, Cell, Series, Table};
 use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
 
 use super::{base_spec, Artifact, Scale};
-use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY};
+use crate::runner::{CellSpec, RunContext};
 
 const DELAYS: [u64; 7] = [0, 1, 2, 4, 8, 16, 32];
 
@@ -28,7 +28,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                 entry,
                 format!("f6/{}/d{delay}", entry.compiled.name),
                 &spec,
-                DEFAULT_LATENCY,
+                scale.timing(),
                 InsertFilter::All,
             ));
         }

@@ -9,7 +9,7 @@ use predbranch_core::{InsertFilter, PredictorSpec};
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{Artifact, Scale};
-use crate::runner::{CellSpec, RunContext, DEFAULT_LATENCY, PGU_DELAY};
+use crate::runner::{CellSpec, RunContext, PGU_DELAY};
 
 const VARIANTS: [&str; 4] = ["base", "+SFPF", "+PGU", "+both"];
 
@@ -74,7 +74,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                     entry,
                     format!("f7/{}/{name}/{variant}", entry.compiled.name),
                     spec,
-                    DEFAULT_LATENCY,
+                    scale.timing(),
                     InsertFilter::All,
                 ));
             }

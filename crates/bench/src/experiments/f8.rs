@@ -16,7 +16,7 @@ use predbranch_stats::{geometric_mean, Cell, Table};
 use predbranch_workloads::DEFAULT_MAX_INSTRUCTIONS;
 
 use super::{headline_specs, Artifact, Scale};
-use crate::runner::{RunContext, DEFAULT_LATENCY};
+use crate::runner::RunContext;
 
 struct TimelinePoint {
     cycles: u64,
@@ -28,6 +28,7 @@ struct TimelinePoint {
 pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
     let specs = headline_specs();
     let pipe = PipelineConfig::default();
+    let timing = scale.timing();
     let entries = ctx.suite(scale.limit);
 
     let mut jobs: Vec<Box<dyn FnOnce() -> TimelinePoint + Send>> = Vec::new();
@@ -40,7 +41,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                 let mut harness = PredictionHarness::new(
                     build_predictor(&spec),
                     HarnessConfig {
-                        resolve_latency: DEFAULT_LATENCY,
+                        timing,
                         insert: InsertFilter::All,
                     },
                 )
@@ -48,6 +49,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                 let summary =
                     Executor::new(&program, input).run(&mut harness, 2 * DEFAULT_MAX_INSTRUCTIONS);
                 assert!(summary.halted);
+                harness.finish();
                 let timeline = *harness.timeline().expect("timeline attached");
                 let model_ipc = (i == 0).then(|| {
                     let unconditional = summary.branches - summary.conditional_branches;

@@ -7,7 +7,7 @@
 //! recovers, realistically timed and with ideal (zero-latency) predicate
 //! delivery.
 
-use predbranch_core::{InsertFilter, PredictorSpec};
+use predbranch_core::{InsertFilter, PredictorSpec, Timing};
 use predbranch_stats::{mean, Cell, Table};
 
 use super::{base_spec, Artifact, Scale};
@@ -35,7 +35,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
                 entry,
                 format!("f9/{}/{tag}", entry.compiled.name),
                 spec,
-                *latency,
+                Timing::new(*latency, scale.retire_latency),
                 InsertFilter::All,
             ));
         }

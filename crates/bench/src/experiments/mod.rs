@@ -7,10 +7,10 @@
 
 use std::fmt;
 
-use predbranch_core::PredictorSpec;
+use predbranch_core::{PredictorSpec, Timing};
 use predbranch_stats::{Series, Table};
 
-use crate::runner::{RunContext, PGU_DELAY};
+use crate::runner::{RunContext, DEFAULT_LATENCY, PGU_DELAY};
 
 mod f1;
 mod f10;
@@ -19,6 +19,7 @@ mod f12;
 mod f13;
 mod f14;
 mod f15;
+mod f16;
 mod f2;
 mod f3;
 mod f4;
@@ -30,22 +31,47 @@ mod f9;
 mod t1;
 mod t2;
 
-/// How much of the suite an experiment run covers.
+/// How much of the suite an experiment run covers, and at which
+/// harness timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Restrict to the first `n` benchmarks (`None` = whole suite).
     pub limit: Option<usize>,
+    /// Commit delay (in fetched instructions) for every cell the
+    /// experiment runs. `0` reproduces the historical immediate-update
+    /// results exactly; see [`predbranch_core::Timing`].
+    pub retire_latency: u64,
 }
 
 impl Scale {
     /// The full 11-benchmark suite.
     pub fn full() -> Self {
-        Scale { limit: None }
+        Scale {
+            limit: None,
+            retire_latency: 0,
+        }
     }
 
     /// A 3-benchmark quick mode for tests and Criterion.
     pub fn quick() -> Self {
-        Scale { limit: Some(3) }
+        Scale {
+            limit: Some(3),
+            retire_latency: 0,
+        }
+    }
+
+    /// The same scale with a different retire latency.
+    pub fn with_retire(self, retire_latency: u64) -> Self {
+        Scale {
+            retire_latency,
+            ..self
+        }
+    }
+
+    /// The harness timing every experiment cell runs at: the suite's
+    /// default resolve latency plus this scale's retire latency.
+    pub fn timing(&self) -> Timing {
+        Timing::new(DEFAULT_LATENCY, self.retire_latency)
     }
 }
 
@@ -178,6 +204,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "compare hoisting: compiler/predictor co-design (extension)",
             run: f15::run,
         },
+        Experiment {
+            id: "f16",
+            title: "retire-latency sensitivity of the headline result (extension)",
+            run: f16::run,
+        },
     ]
 }
 
@@ -213,9 +244,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 17);
+        assert_eq!(all.len(), 18);
         let ids: std::collections::HashSet<_> = all.iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
         assert!(find_experiment("f3").is_some());
         assert!(find_experiment("zz").is_none());
     }

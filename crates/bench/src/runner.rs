@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use predbranch_core::{
     build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictionMetrics,
-    PredictorSpec,
+    PredictorSpec, Timing,
 };
 use predbranch_isa::Program;
 use predbranch_sim::{Executor, Memory, RunSummary};
@@ -36,8 +36,9 @@ use predbranch_workloads::{
 };
 
 /// The machine's predicate resolve latency used throughout the study
-/// (compare execute → first fetch that can observe the result).
-pub const DEFAULT_LATENCY: u64 = 8;
+/// (compare execute → first fetch that can observe the result) — the
+/// single source of truth lives in `predbranch_sim`.
+pub const DEFAULT_LATENCY: u64 = predbranch_sim::DEFAULT_RESOLVE_LATENCY;
 
 /// The realistic PGU insertion delay: predicate bits become visible to
 /// the history register one resolve latency after the defining compare.
@@ -126,8 +127,8 @@ pub struct CellSpec {
     pub memory: Memory,
     /// Predictor configuration.
     pub spec: PredictorSpec,
-    /// Scoreboard resolve latency (fetch slots).
-    pub resolve_latency: u64,
+    /// Update-timing knobs (resolve and retire latencies).
+    pub timing: Timing,
     /// Which predicate definitions reach the predictor.
     pub insert: InsertFilter,
 }
@@ -139,7 +140,7 @@ impl CellSpec {
         entry: &SuiteEntry,
         label: impl Into<String>,
         spec: &PredictorSpec,
-        resolve_latency: u64,
+        timing: Timing,
         insert: InsertFilter,
     ) -> Self {
         CellSpec {
@@ -148,7 +149,7 @@ impl CellSpec {
             program: entry.compiled.predicated.clone(),
             memory: entry.eval_input(),
             spec: spec.clone(),
-            resolve_latency,
+            timing,
             insert,
         }
     }
@@ -159,7 +160,7 @@ impl CellSpec {
         entry: &SuiteEntry,
         label: impl Into<String>,
         spec: &PredictorSpec,
-        resolve_latency: u64,
+        timing: Timing,
         insert: InsertFilter,
     ) -> Self {
         CellSpec {
@@ -168,7 +169,7 @@ impl CellSpec {
             program: entry.compiled.plain.clone(),
             memory: entry.eval_input(),
             spec: spec.clone(),
-            resolve_latency,
+            timing,
             insert,
         }
     }
@@ -180,7 +181,7 @@ impl CellSpec {
         label: impl Into<String>,
         seed: u64,
         spec: &PredictorSpec,
-        resolve_latency: u64,
+        timing: Timing,
         insert: InsertFilter,
     ) -> Self {
         CellSpec {
@@ -189,7 +190,7 @@ impl CellSpec {
             program: entry.compiled.predicated.clone(),
             memory: entry.bench.input(seed),
             spec: spec.clone(),
-            resolve_latency,
+            timing,
             insert,
         }
     }
@@ -210,7 +211,8 @@ impl CellSpec {
         mix(&program_hash(&self.program).to_le_bytes());
         mix(&memory_fingerprint(&self.memory).to_le_bytes());
         mix(&CELL_BUDGET.to_le_bytes());
-        mix(&self.resolve_latency.to_le_bytes());
+        mix(&self.timing.resolve_latency.to_le_bytes());
+        mix(&self.timing.retire_latency.to_le_bytes());
         mix(format!("{:?}", self.spec).as_bytes());
         match &self.insert {
             InsertFilter::All => mix(b"insert:all"),
@@ -224,7 +226,7 @@ impl CellSpec {
                 }
             }
         }
-        format!("v1-{digest:016x}")
+        format!("v2-{digest:016x}")
     }
 }
 
@@ -446,7 +448,7 @@ impl RunContext {
         let mut harness = PredictionHarness::new(
             predictor,
             HarnessConfig {
-                resolve_latency: cell.resolve_latency,
+                timing: cell.timing,
                 insert: cell.insert.clone(),
             },
         );
@@ -479,6 +481,7 @@ impl RunContext {
             }
         };
         assert!(summary.halted, "experiment program did not halt");
+        harness.finish();
         (
             RunOutcome {
                 metrics: *harness.metrics(),
@@ -512,18 +515,14 @@ pub fn run_spec(
     program: &Program,
     memory: Memory,
     spec: &PredictorSpec,
-    resolve_latency: u64,
+    timing: Timing,
     insert: InsertFilter,
 ) -> RunOutcome {
-    let mut harness = PredictionHarness::new(
-        build_predictor(spec),
-        HarnessConfig {
-            resolve_latency,
-            insert,
-        },
-    );
+    let mut harness =
+        PredictionHarness::new(build_predictor(spec), HarnessConfig { timing, insert });
     let summary = Executor::new(program, memory).run(&mut harness, CELL_BUDGET);
     assert!(summary.halted, "experiment program did not halt");
+    harness.finish();
     RunOutcome {
         metrics: *harness.metrics(),
         summary,
@@ -624,7 +623,7 @@ mod tests {
             &entries[0],
             "test/static",
             &PredictorSpec::StaticNotTaken,
-            DEFAULT_LATENCY,
+            Timing::immediate(DEFAULT_LATENCY),
             InsertFilter::All,
         );
         let out = ctx.run_cell(&cell);
@@ -653,7 +652,7 @@ mod tests {
             &entries[0],
             "a",
             &PredictorSpec::StaticNotTaken,
-            DEFAULT_LATENCY,
+            Timing::immediate(DEFAULT_LATENCY),
             InsertFilter::All,
         );
         // the label is cosmetic: same content, same key
@@ -669,10 +668,15 @@ mod tests {
         };
         assert_ne!(base.key(), other_spec.key());
         let other_latency = CellSpec {
-            resolve_latency: DEFAULT_LATENCY + 1,
+            timing: Timing::immediate(DEFAULT_LATENCY + 1),
             ..base.clone()
         };
         assert_ne!(base.key(), other_latency.key());
+        let other_retire = CellSpec {
+            timing: Timing::new(DEFAULT_LATENCY, 4),
+            ..base.clone()
+        };
+        assert_ne!(base.key(), other_retire.key());
         let other_insert = CellSpec {
             insert: InsertFilter::None,
             ..base.clone()
@@ -682,7 +686,7 @@ mod tests {
             &entries[0],
             "a",
             &PredictorSpec::StaticNotTaken,
-            DEFAULT_LATENCY,
+            Timing::immediate(DEFAULT_LATENCY),
             InsertFilter::All,
         );
         assert_ne!(base.key(), plain.key());
@@ -696,7 +700,7 @@ mod tests {
             &entries[0],
             "test/roundtrip",
             &PredictorSpec::StaticNotTaken,
-            DEFAULT_LATENCY,
+            Timing::immediate(DEFAULT_LATENCY),
             InsertFilter::All,
         );
         let out = ctx.run_cell(&cell);

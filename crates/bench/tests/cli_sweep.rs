@@ -74,7 +74,7 @@ fn manifest_is_written_and_well_formed() {
     assert!(command.contains("f1"), "{command}");
 
     // f1 at quick scale: 3 benchmarks × (plain + pred) = 6 cells, all
-    // live (no cache), every record carrying a v1- content key
+    // live (no cache), every record carrying a v2- content key
     let cells = manifest.get("cells").and_then(Json::as_arr).unwrap();
     assert_eq!(cells.len(), 6);
     for cell in cells {
@@ -82,7 +82,7 @@ fn manifest_is_written_and_well_formed() {
             .get("key")
             .and_then(Json::as_str)
             .unwrap()
-            .starts_with("v1-"));
+            .starts_with("v2-"));
         assert_eq!(cell.get("source").and_then(Json::as_str), Some("live"));
     }
     let totals = manifest.get("totals").unwrap();

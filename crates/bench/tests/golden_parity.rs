@@ -1,0 +1,56 @@
+//! Golden parity: at retire latency 0 the in-flight window must
+//! reproduce the idealized immediate-update results **byte for byte**.
+//!
+//! `golden/quick_all.txt` is the captured stdout of
+//! `experiments --quick all` from before the speculative-history
+//! refactor (when the harness trained predictors inline, with no
+//! window). Any drift in any of the original seventeen experiments —
+//! a changed misprediction count, a reordered row, even a formatting
+//! change — fails this test.
+
+use predbranch_bench::experiments::find_experiment;
+use predbranch_bench::{RunContext, Scale};
+
+/// The experiment ids the golden file covers, in `all` order. F16 was
+/// added together with the retire-latency knob, so it has no
+/// pre-refactor output to compare against.
+const GOLDEN_IDS: [&str; 17] = [
+    "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
+    "f14", "f15",
+];
+
+#[test]
+fn quick_all_output_is_byte_identical_to_pre_refactor_golden() {
+    let golden = include_str!("golden/quick_all.txt");
+    let ctx = RunContext::new();
+    let scale = Scale::quick();
+    assert_eq!(scale.retire_latency, 0, "golden was captured at retire 0");
+
+    let mut rendered = String::new();
+    for id in GOLDEN_IDS {
+        let exp = find_experiment(id).expect(id);
+        for artifact in (exp.run)(&ctx, &scale) {
+            // the binary prints each artifact with `println!("{artifact}")`
+            rendered.push_str(&format!("{artifact}\n"));
+        }
+    }
+
+    if rendered != golden {
+        let diverge = rendered
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (new, old))| new != old);
+        match diverge {
+            Some((line, (new, old))) => panic!(
+                "output diverges from the pre-refactor golden at line {}:\n  golden: {old}\n  now:    {new}",
+                line + 1
+            ),
+            None => panic!(
+                "output length differs from the golden: {} vs {} bytes",
+                rendered.len(),
+                golden.len()
+            ),
+        }
+    }
+}

@@ -5,7 +5,7 @@
 
 use predbranch_bench::experiments::find_experiment;
 use predbranch_bench::{CellSpec, RunContext, Scale, DEFAULT_LATENCY};
-use predbranch_core::InsertFilter;
+use predbranch_core::{InsertFilter, Timing};
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("pb-sweep-{tag}-{}", std::process::id()));
@@ -34,7 +34,7 @@ fn grid(ctx: &RunContext) -> Vec<CellSpec> {
                 entry,
                 format!("grid/{}/{i}", entry.compiled.name),
                 spec,
-                DEFAULT_LATENCY,
+                Timing::immediate(DEFAULT_LATENCY),
                 InsertFilter::All,
             ));
         }

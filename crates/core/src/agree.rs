@@ -8,6 +8,8 @@
 //! the other 1990s technique aimed at exactly the branch population this
 //! study targets.
 
+use std::collections::VecDeque;
+
 use predbranch_sim::PredicateScoreboard;
 
 use crate::history::GlobalHistory;
@@ -32,6 +34,7 @@ pub struct Agree {
     table: CounterTable,
     history: GlobalHistory,
     bias_bits: u32,
+    checkpoints: VecDeque<GlobalHistory>,
 }
 
 impl Agree {
@@ -48,6 +51,7 @@ impl Agree {
             table: CounterTable::with_initial(index_bits, TwoBitCounter::weakly_taken()),
             history: GlobalHistory::new(history_bits),
             bias_bits: index_bits,
+            checkpoints: VecDeque::new(),
         }
     }
 
@@ -81,11 +85,28 @@ impl BranchPredictor for Agree {
         }
     }
 
-    fn update(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+    fn speculate(&mut self, _branch: &BranchInfo, predicted: bool, _sb: &PredicateScoreboard) {
+        self.checkpoints.push_back(self.history);
+        self.history.shift_in(predicted);
+    }
+
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        let checkpoint = self
+            .checkpoints
+            .pop_front()
+            .expect("agree commit without a matching speculate");
         let slot = self.bias_slot(branch.pc);
         let bias = *self.bias[slot].get_or_insert(taken);
-        let index = self.index(branch.pc);
+        let index = u64::from(branch.pc) ^ checkpoint.folded(self.table.index_bits());
         self.table.update(index, taken == bias);
+    }
+
+    fn squash(&mut self, _branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        let checkpoint = *self
+            .checkpoints
+            .front()
+            .expect("agree squash without a matching speculate");
+        self.history = checkpoint;
         self.history.shift_in(taken);
     }
 

@@ -47,7 +47,9 @@ impl BranchPredictor for Bimodal {
         self.table.predict(branch.pc as u64)
     }
 
-    fn update(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+    // No speculative state: the counter index depends only on the PC, so
+    // the default no-op `speculate`/`squash` are exact.
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
         self.table.update(branch.pc as u64, taken);
     }
 

@@ -2,7 +2,7 @@
 //! predictor and report prediction metrics.
 //!
 //! ```text
-//! pbpredict <file.s> [--predictor SPEC] [--latency L] [--max N]
+//! pbpredict <file.s> [--predictor SPEC] [--latency L] [--retire-latency R] [--max N]
 //!
 //! SPEC examples:  gshare:13/13          bimodal:14
 //!                 gshare:13/13+sfpf     gshare:13/13+pgu8
@@ -13,15 +13,16 @@ use std::fs;
 use std::process::ExitCode;
 
 use predbranch_core::{
-    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec,
+    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec, Timing,
 };
 use predbranch_isa::assemble;
-use predbranch_sim::{Executor, Memory, PipelineConfig};
+use predbranch_sim::{Executor, Memory, PipelineConfig, DEFAULT_RETIRE_LATENCY};
 
 struct Options {
     path: String,
     spec: String,
     latency: u64,
+    retire_latency: u64,
     max: u64,
 }
 
@@ -31,12 +32,14 @@ fn parse_args() -> Option<Options> {
         path: String::new(),
         spec: "gshare:13/13".to_string(),
         latency: 8,
+        retire_latency: DEFAULT_RETIRE_LATENCY,
         max: 10_000_000,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--predictor" => opts.spec = args.next()?,
             "--latency" => opts.latency = args.next()?.parse().ok()?,
+            "--retire-latency" => opts.retire_latency = args.next()?.parse().ok()?,
             "--max" => opts.max = args.next()?.parse().ok()?,
             path if opts.path.is_empty() && !path.starts_with('-') => {
                 opts.path = path.to_string();
@@ -53,7 +56,9 @@ fn parse_args() -> Option<Options> {
 
 fn main() -> ExitCode {
     let Some(opts) = parse_args() else {
-        eprintln!("usage: pbpredict <file.s> [--predictor SPEC] [--latency L] [--max N]");
+        eprintln!(
+            "usage: pbpredict <file.s> [--predictor SPEC] [--latency L] [--retire-latency R] [--max N]"
+        );
         return ExitCode::FAILURE;
     };
     let text = match fs::read_to_string(&opts.path) {
@@ -84,12 +89,13 @@ fn main() -> ExitCode {
     let mut harness = PredictionHarness::new(
         predictor,
         HarnessConfig {
-            resolve_latency: opts.latency,
+            timing: Timing::new(opts.latency, opts.retire_latency),
             insert: InsertFilter::All,
         },
     )
     .with_timeline(PipelineConfig::default());
     let summary = Executor::new(&program, Memory::new()).run(&mut harness, opts.max);
+    harness.finish();
 
     let m = harness.metrics();
     println!("halted:           {}", summary.halted);

@@ -1,5 +1,7 @@
 //! The gshare global-history predictor.
 
+use std::collections::VecDeque;
+
 use predbranch_sim::PredicateScoreboard;
 
 use crate::history::GlobalHistory;
@@ -14,6 +16,11 @@ use crate::tables::CounterTable;
 /// global-update mechanism ([`crate::Pgu`]) can shift predicate outcomes
 /// into it.
 ///
+/// The history is updated speculatively: `speculate` snapshots the
+/// fetch-time history register and shifts in the predicted direction;
+/// `commit` trains the counter table at the checkpointed index; `squash`
+/// restores the checkpoint and shifts in the resolved outcome.
+///
 /// # Examples
 ///
 /// ```
@@ -26,6 +33,7 @@ use crate::tables::CounterTable;
 pub struct Gshare {
     table: CounterTable,
     history: GlobalHistory,
+    checkpoints: VecDeque<GlobalHistory>,
 }
 
 impl Gshare {
@@ -40,11 +48,16 @@ impl Gshare {
         Gshare {
             table: CounterTable::new(index_bits),
             history: GlobalHistory::new(history_bits),
+            checkpoints: VecDeque::new(),
         }
     }
 
     fn index(&self, pc: u32) -> u64 {
-        u64::from(pc) ^ self.history.folded(self.table.index_bits())
+        self.index_with(pc, &self.history)
+    }
+
+    fn index_with(&self, pc: u32, history: &GlobalHistory) -> u64 {
+        u64::from(pc) ^ history.folded(self.table.index_bits())
     }
 
     /// The current global history (for inspection).
@@ -62,9 +75,26 @@ impl BranchPredictor for Gshare {
         self.table.predict(self.index(branch.pc))
     }
 
-    fn update(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
-        let index = self.index(branch.pc);
+    fn speculate(&mut self, _branch: &BranchInfo, predicted: bool, _sb: &PredicateScoreboard) {
+        self.checkpoints.push_back(self.history);
+        self.history.shift_in(predicted);
+    }
+
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        let checkpoint = self
+            .checkpoints
+            .pop_front()
+            .expect("gshare commit without a matching speculate");
+        let index = self.index_with(branch.pc, &checkpoint);
         self.table.update(index, taken);
+    }
+
+    fn squash(&mut self, _branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        let checkpoint = *self
+            .checkpoints
+            .front()
+            .expect("gshare squash without a matching speculate");
+        self.history = checkpoint;
         self.history.shift_in(taken);
     }
 

@@ -1,14 +1,20 @@
-//! Drives a predictor from the simulator's event stream.
+//! Drives a predictor from the simulator's event stream through an
+//! in-flight branch window (predict → speculate → commit/squash).
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 use predbranch_isa::{Op, Program};
 use predbranch_sim::{
     BranchEvent, Event, EventSink, FetchTimeline, PipelineConfig, PredWriteEvent,
-    PredicateScoreboard,
+    PredicateScoreboard, DEFAULT_RESOLVE_LATENCY, DEFAULT_RETIRE_LATENCY,
 };
 
 use crate::predictor::{BranchInfo, BranchPredictor, PredictionMetrics};
+
+/// Capacity of the harness's in-flight branch window (a bounded reorder
+/// buffer): when full, the oldest pending branch is force-retired to make
+/// room, like a real ROB stalling-then-retiring at capacity.
+const WINDOW_CAPACITY: usize = 64;
 
 /// Policy selecting which predicate definitions are forwarded to the
 /// predictor's [`BranchPredictor::on_pred_write`] hook — the PGU
@@ -37,12 +43,63 @@ impl InsertFilter {
     }
 }
 
-/// Harness configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HarnessConfig {
+/// Update-timing knobs of the prediction pathway.
+///
+/// `resolve_latency` governs when *predicate values* become visible to
+/// the fetch stage (the scoreboard); `retire_latency` governs when
+/// *branch outcomes* train the predictor (the in-flight window). The two
+/// model the paper's "when does information arrive" question on both of
+/// its axes.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_core::Timing;
+///
+/// let t = Timing::default();
+/// assert_eq!(t.resolve_latency, predbranch_sim::DEFAULT_RESOLVE_LATENCY);
+/// assert_eq!(t.retire_latency, predbranch_sim::DEFAULT_RETIRE_LATENCY);
+/// assert_eq!(Timing::immediate(8).retire_latency, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Timing {
     /// Scoreboard resolve latency in fetch slots (see
     /// [`PredicateScoreboard`]).
     pub resolve_latency: u64,
+    /// Fetch slots between a branch's fetch and the commit that trains
+    /// the predictor with its outcome. `0` reproduces the idealized
+    /// immediate-update methodology exactly (every branch commits before
+    /// the next event).
+    pub retire_latency: u64,
+}
+
+impl Timing {
+    /// Both knobs explicit.
+    pub fn new(resolve_latency: u64, retire_latency: u64) -> Self {
+        Timing {
+            resolve_latency,
+            retire_latency,
+        }
+    }
+
+    /// Idealized immediate update (`retire_latency = 0`) at the given
+    /// resolve latency.
+    pub fn immediate(resolve_latency: u64) -> Self {
+        Timing::new(resolve_latency, 0)
+    }
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing::new(DEFAULT_RESOLVE_LATENCY, DEFAULT_RETIRE_LATENCY)
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Update-timing knobs (resolve and retire latencies).
+    pub timing: Timing,
     /// Which predicate definitions reach the predictor.
     pub insert: InsertFilter,
 }
@@ -50,7 +107,7 @@ pub struct HarnessConfig {
 impl Default for HarnessConfig {
     fn default() -> Self {
         HarnessConfig {
-            resolve_latency: predbranch_sim::PipelineConfig::default().resolve_latency,
+            timing: Timing::default(),
             insert: InsertFilter::All,
         }
     }
@@ -93,11 +150,37 @@ pub fn guard_def_pcs(program: &Program) -> HashSet<u32> {
     pcs
 }
 
-/// An [`EventSink`] that runs the full prediction methodology: for each
-/// conditional branch, query the predictor at fetch (with the scoreboard
-/// reflecting resolved predicate values), compare against the outcome,
-/// and train; predicate definitions update the scoreboard and (subject to
-/// the [`InsertFilter`]) the predictor.
+/// A conditional branch in flight between fetch and retire.
+#[derive(Debug, Clone, Copy)]
+struct InFlightBranch {
+    info: BranchInfo,
+    predicted: bool,
+    taken: bool,
+}
+
+/// An [`EventSink`] that runs the full prediction methodology around an
+/// in-flight branch window: for each conditional branch, query the
+/// predictor at fetch (with the scoreboard reflecting resolved predicate
+/// values), let it speculate on its own prediction, and enqueue the
+/// branch in a bounded reorder buffer. The branch's outcome trains the
+/// predictor (`commit`, preceded by `squash` on a misprediction) only
+/// once [`Timing::retire_latency`] fetch slots have passed — with
+/// latency 0 every branch retires before the next event, which is the
+/// idealized immediate-update methodology, bit for bit. Predicate
+/// definitions update the scoreboard and (subject to the
+/// [`InsertFilter`]) the predictor.
+///
+/// A misprediction flushes the window: all in-flight branches retire
+/// before the next event is processed, modelling the pipeline flush that
+/// resolves the mispredicted branch (everything after it in the trace is
+/// fetched post-recovery). Because a mispredicted branch is therefore
+/// always the youngest in-flight branch when it retires, the predictor's
+/// oldest outstanding checkpoint at `squash` time is the squashed
+/// branch's own.
+///
+/// Call [`PredictionHarness::finish`] (or [`PredictionHarness::into_parts`],
+/// which does it for you) after the event stream ends to retire the last
+/// in-flight branches.
 ///
 /// Unconditional branches are not predicted (their direction is static).
 #[derive(Debug)]
@@ -107,6 +190,9 @@ pub struct PredictionHarness<P> {
     insert: InsertFilter,
     metrics: PredictionMetrics,
     timeline: Option<FetchTimeline>,
+    retire_latency: u64,
+    window: VecDeque<InFlightBranch>,
+    flush_pending: bool,
 }
 
 impl<P: BranchPredictor> PredictionHarness<P> {
@@ -114,10 +200,13 @@ impl<P: BranchPredictor> PredictionHarness<P> {
     pub fn new(predictor: P, config: HarnessConfig) -> Self {
         PredictionHarness {
             predictor,
-            scoreboard: PredicateScoreboard::new(config.resolve_latency),
+            scoreboard: PredicateScoreboard::new(config.timing.resolve_latency),
             insert: config.insert,
             metrics: PredictionMetrics::default(),
             timeline: None,
+            retire_latency: config.timing.retire_latency,
+            window: VecDeque::new(),
+            flush_pending: false,
         }
     }
 
@@ -145,8 +234,58 @@ impl<P: BranchPredictor> PredictionHarness<P> {
         &self.predictor
     }
 
-    /// Consumes the harness, returning predictor and metrics.
-    pub fn into_parts(self) -> (P, PredictionMetrics) {
+    /// Retires the oldest in-flight branch: `squash` (on a
+    /// misprediction) then `commit`.
+    fn retire_front(&mut self) {
+        if let Some(entry) = self.window.pop_front() {
+            if entry.predicted != entry.taken {
+                self.predictor
+                    .squash(&entry.info, entry.taken, &self.scoreboard);
+            }
+            self.predictor
+                .commit(&entry.info, entry.taken, &self.scoreboard);
+        }
+    }
+
+    /// Retires every branch whose retire latency has elapsed by
+    /// `fetch_index` — or the whole window if a misprediction flush is
+    /// pending.
+    fn drain_ready(&mut self, fetch_index: u64) {
+        if self.flush_pending {
+            while !self.window.is_empty() {
+                self.retire_front();
+            }
+            self.flush_pending = false;
+            return;
+        }
+        while self
+            .window
+            .front()
+            .is_some_and(|e| e.info.index + self.retire_latency <= fetch_index)
+        {
+            self.retire_front();
+        }
+    }
+
+    /// Retires all still-in-flight branches. Call once the event stream
+    /// ends; without it the tail of the run never trains the predictor.
+    pub fn finish(&mut self) {
+        while !self.window.is_empty() {
+            self.retire_front();
+        }
+        self.flush_pending = false;
+    }
+
+    /// Number of branches currently in flight (fetched, not yet
+    /// retired).
+    pub fn in_flight(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Consumes the harness, returning predictor and metrics. Retires
+    /// any still-in-flight branches first.
+    pub fn into_parts(mut self) -> (P, PredictionMetrics) {
+        self.finish();
         (self.predictor, self.metrics)
     }
 
@@ -180,6 +319,7 @@ impl<P: BranchPredictor> EventSink for PredictionHarness<P> {
             }
             return;
         }
+        self.drain_ready(event.index);
         let info = BranchInfo::from_event(event);
         let predicted = self.predictor.predict(&info, &self.scoreboard);
         let correct = predicted == event.taken;
@@ -209,10 +349,25 @@ impl<P: BranchPredictor> EventSink for PredictionHarness<P> {
             }
         }
 
-        self.predictor.update(&info, event.taken, &self.scoreboard);
+        self.predictor.speculate(&info, predicted, &self.scoreboard);
+        if self.window.len() >= WINDOW_CAPACITY {
+            // bounded reorder buffer: make room by retiring the oldest
+            self.retire_front();
+        }
+        self.window.push_back(InFlightBranch {
+            info,
+            predicted,
+            taken: event.taken,
+        });
+        if !correct {
+            self.flush_pending = true;
+        }
     }
 
     fn pred_write(&mut self, event: &PredWriteEvent) {
+        // Retire first, so the scoreboard (and any PGU insertion) still
+        // reflects the pre-write world when older branches commit.
+        self.drain_ready(event.index);
         self.metrics.pred_writes.increment();
         self.scoreboard.observe(event);
         if self.insert.passes(event) {
@@ -273,7 +428,7 @@ mod tests {
         // def-to-branch distance is 10; with latency <= 10 the final
         // (not-taken) branch is fetched with p1 known false
         let config = HarnessConfig {
-            resolve_latency: 10,
+            timing: Timing::immediate(10),
             insert: InsertFilter::All,
         };
         let (m, _) = run(LOOP, SquashFilter::new(StaticPredictor::Taken), config);
@@ -286,7 +441,7 @@ mod tests {
     #[test]
     fn unresolved_guards_bypass_filter() {
         let config = HarnessConfig {
-            resolve_latency: 11,
+            timing: Timing::immediate(11),
             insert: InsertFilter::All,
         };
         let (m, _) = run(LOOP, SquashFilter::new(StaticPredictor::Taken), config);
@@ -298,7 +453,7 @@ mod tests {
     #[test]
     fn insert_filter_none_starves_pgu() {
         let config = HarnessConfig {
-            resolve_latency: 64,
+            timing: Timing::immediate(64),
             insert: InsertFilter::None,
         };
         let program = assemble(LOOP).unwrap();
@@ -315,7 +470,7 @@ mod tests {
         // only the loop compare defines a branch guard
         assert_eq!(pcs.len(), 1);
         let config = HarnessConfig {
-            resolve_latency: 64,
+            timing: Timing::immediate(64),
             insert: InsertFilter::Pcs(pcs),
         };
         let mut harness = PredictionHarness::new(Pgu::new(Gshare::new(10, 10)), config);
@@ -336,7 +491,7 @@ mod tests {
             let mut harness = PredictionHarness::new(
                 predictor,
                 HarnessConfig {
-                    resolve_latency: 64, // keep the filter out of it
+                    timing: Timing::immediate(64), // keep the filter out of it
                     insert: InsertFilter::All,
                 },
             )
@@ -354,6 +509,117 @@ mod tests {
         let (cycles_bad, misp_bad) = run_with(false);
         assert!(misp_good < misp_bad);
         assert!(cycles_good < cycles_bad, "{cycles_good} !< {cycles_bad}");
+    }
+
+    #[test]
+    fn guard_def_pcs_includes_parallel_compare_types() {
+        // and/or/or.andcm parallel compares that (partially) define a
+        // branch guard are guard definitions just like plain compares
+        let program = assemble(
+            r#"
+                cmp.lt p1, p2 = r1, 5          // pc 0: defines p1 (guard)
+                cmp.gt.and p1, p3 = r2, 0      // pc 1: and-type, touches p1
+                cmp.ne.or p1, p4 = r3, 1       // pc 2: or-type, touches p1
+                cmp.ge.or.andcm p1, p5 = r4, 2 // pc 3: or.andcm, touches p1
+                cmp.eq p6, p7 = r5, 3          // pc 4: guards nothing
+                (p1) br done
+            done:
+                halt
+            "#,
+        )
+        .unwrap();
+        let pcs = guard_def_pcs(&program);
+        assert!(pcs.contains(&0), "plain cmp defining the guard");
+        assert!(pcs.contains(&1), "and-type compare defining the guard");
+        assert!(pcs.contains(&2), "or-type compare defining the guard");
+        assert!(pcs.contains(&3), "or.andcm compare defining the guard");
+        assert!(!pcs.contains(&4), "compare of unguarded predicates");
+        assert_eq!(pcs.len(), 4);
+    }
+
+    #[test]
+    fn guard_def_pcs_collects_every_definition_of_a_guard() {
+        // a guard with multiple defining compares (both polarities count:
+        // p2 is defined as the false-target of pc 0 and the true-target
+        // of pc 2)
+        let program = assemble(
+            r#"
+                cmp.lt p1, p2 = r1, 5
+                cmp.eq p3, p4 = r2, 0
+                cmp.gt p2, p5 = r3, 9
+                (p2) br out
+                (p4) br out
+            out:
+                halt
+            "#,
+        )
+        .unwrap();
+        let pcs = guard_def_pcs(&program);
+        assert!(pcs.contains(&0), "p2 defined via the false target");
+        assert!(pcs.contains(&1), "p4 is also a branch guard");
+        assert!(pcs.contains(&2), "p2 defined via the true target");
+        assert_eq!(pcs.len(), 3);
+    }
+
+    #[test]
+    fn retire_latency_delays_training() {
+        // With a huge retire latency and no mispredictions... gshare
+        // cannot mispredict-free: use static predictors to isolate the
+        // window. A gshare run at retire 1000 never commits mid-run, so
+        // its counters only move when `finish` drains the window.
+        let program = assemble(LOOP).unwrap();
+        let config = HarnessConfig {
+            timing: Timing::new(64, 1_000_000),
+            insert: InsertFilter::None,
+        };
+        let mut harness = PredictionHarness::new(Gshare::new(10, 10), config);
+        Executor::new(&program, Memory::new()).run(&mut harness, 1_000_000);
+        // 51 fetches, every one still in flight...except the window
+        // flushes on each misprediction. The loop mispredicts during
+        // warmup, so some branches have retired; the invariant that
+        // matters is that the tail is still pending until finish().
+        assert!(harness.in_flight() > 0, "tail branches still in flight");
+        harness.finish();
+        assert_eq!(harness.in_flight(), 0);
+    }
+
+    #[test]
+    fn retire_zero_matches_immediate_update_exactly() {
+        // The migration safety net in miniature: the windowed harness at
+        // retire 0 must leave the predictor in the same state as the old
+        // idealized predict-then-update loop.
+        let program = assemble(LOOP).unwrap();
+        let config = HarnessConfig {
+            timing: Timing::immediate(8),
+            insert: InsertFilter::All,
+        };
+        let mut harness = PredictionHarness::new(Gshare::new(10, 10), config);
+        Executor::new(&program, Memory::new()).run(&mut harness, 1_000_000);
+        let (windowed, metrics) = harness.into_parts();
+
+        // reference: drive predict/update by hand from a recorded trace
+        let mut trace = predbranch_sim::TraceSink::new();
+        Executor::new(&program, Memory::new()).run(&mut trace, 1_000_000);
+        let mut reference = Gshare::new(10, 10);
+        let mut sb = PredicateScoreboard::new(8);
+        let mut mispredictions = 0u64;
+        for event in trace.events() {
+            match event {
+                Event::Branch(b) if b.conditional => {
+                    let info = BranchInfo::from_event(b);
+                    if reference.predict(&info, &sb) != b.taken {
+                        mispredictions += 1;
+                    }
+                    reference.update(&info, b.taken, &sb);
+                }
+                Event::PredWrite(w) => {
+                    sb.observe(w);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(windowed, reference, "predictor state must match");
+        assert_eq!(metrics.all.mispredictions.get(), mispredictions);
     }
 
     #[test]

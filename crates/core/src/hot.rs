@@ -70,7 +70,11 @@ impl<P: BranchPredictor> EventSink for HotBranches<P> {
             .entry(event.pc)
             .or_default()
             .record(predicted == event.taken);
-        self.predictor.update(&info, event.taken, &self.scoreboard);
+        // Attribution drives the lifecycle at retire latency 0: each
+        // branch speculates on its real outcome and commits immediately.
+        self.predictor
+            .speculate(&info, event.taken, &self.scoreboard);
+        self.predictor.commit(&info, event.taken, &self.scoreboard);
     }
 
     fn pred_write(&mut self, event: &PredWriteEvent) {

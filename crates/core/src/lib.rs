@@ -82,7 +82,7 @@ pub use agree::Agree;
 pub use bimodal::Bimodal;
 pub use config::{build_predictor, PredictorSpec};
 pub use gshare::Gshare;
-pub use harness::{guard_def_pcs, HarnessConfig, InsertFilter, PredictionHarness};
+pub use harness::{guard_def_pcs, HarnessConfig, InsertFilter, PredictionHarness, Timing};
 pub use history::GlobalHistory;
 pub use hot::HotBranches;
 pub use local::Local;

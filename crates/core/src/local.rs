@@ -1,5 +1,7 @@
 //! The two-level local-history predictor (PAg-style).
 
+use std::collections::VecDeque;
+
 use predbranch_sim::PredicateScoreboard;
 
 use crate::predictor::{BranchInfo, BranchPredictor};
@@ -26,6 +28,9 @@ pub struct Local {
     bht_bits: u32,
     history_bits: u32,
     pattern: CounterTable,
+    /// Per-in-flight-branch checkpoints: the branch's BHT slot and the
+    /// slot's pre-shift local history.
+    checkpoints: VecDeque<(usize, u64)>,
 }
 
 impl Local {
@@ -48,6 +53,7 @@ impl Local {
             bht_bits,
             history_bits,
             pattern: CounterTable::new(pattern_bits),
+            checkpoints: VecDeque::new(),
         }
     }
 
@@ -84,12 +90,28 @@ impl BranchPredictor for Local {
         self.pattern.predict(self.pattern_index(branch.pc))
     }
 
-    fn update(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
-        let index = self.pattern_index(branch.pc);
-        self.pattern.update(index, taken);
+    fn speculate(&mut self, branch: &BranchInfo, predicted: bool, _sb: &PredicateScoreboard) {
         let slot = self.bht_slot(branch.pc);
+        self.checkpoints.push_back((slot, self.histories[slot]));
         self.histories[slot] =
-            ((self.histories[slot] << 1) | u64::from(taken)) & self.history_mask();
+            ((self.histories[slot] << 1) | u64::from(predicted)) & self.history_mask();
+    }
+
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        let (_, fetch_history) = self
+            .checkpoints
+            .pop_front()
+            .expect("local commit without a matching speculate");
+        self.pattern
+            .update(fetch_history ^ (u64::from(branch.pc) << 1), taken);
+    }
+
+    fn squash(&mut self, _branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        let (slot, fetch_history) = *self
+            .checkpoints
+            .front()
+            .expect("local squash without a matching speculate");
+        self.histories[slot] = ((fetch_history << 1) | u64::from(taken)) & self.history_mask();
     }
 
     fn storage_bits(&self) -> usize {

@@ -57,7 +57,7 @@ impl BranchPredictor for PerfectGuard {
             .unwrap_or(false)
     }
 
-    fn update(&mut self, _: &BranchInfo, _: bool, _: &PredicateScoreboard) {}
+    fn commit(&mut self, _: &BranchInfo, _: bool, _: &PredicateScoreboard) {}
 
     fn on_pred_write(&mut self, write: &PredWriteEvent) {
         self.values

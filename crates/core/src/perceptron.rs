@@ -3,6 +3,8 @@
 //! global-history bits, it is a natural consumer of PGU's predicate
 //! bits, rewarding informative predicates and zeroing out diluting ones.
 
+use std::collections::VecDeque;
+
 use predbranch_sim::PredicateScoreboard;
 
 use crate::history::GlobalHistory;
@@ -37,6 +39,7 @@ pub struct Perceptron {
     history: GlobalHistory,
     index_bits: u32,
     theta: i32,
+    checkpoints: VecDeque<GlobalHistory>,
 }
 
 impl Perceptron {
@@ -57,6 +60,7 @@ impl Perceptron {
             history: GlobalHistory::new(history_bits),
             index_bits,
             theta: (1.93 * history_bits as f64 + 14.0) as i32,
+            checkpoints: VecDeque::new(),
         }
     }
 
@@ -65,8 +69,12 @@ impl Perceptron {
     }
 
     fn output(&self, pc: u32) -> i32 {
+        self.output_with(pc, &self.history)
+    }
+
+    fn output_with(&self, pc: u32, history: &GlobalHistory) -> i32 {
         let w = &self.weights[self.slot(pc)];
-        let h = self.history.value();
+        let h = history.value();
         let mut sum = w[0]; // bias weight
         for (i, &wi) in w.iter().enumerate().skip(1) {
             let x = if (h >> (i - 1)) & 1 == 1 { 1 } else { -1 };
@@ -90,11 +98,20 @@ impl BranchPredictor for Perceptron {
         self.output(branch.pc) >= 0
     }
 
-    fn update(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
-        let sum = self.output(branch.pc);
+    fn speculate(&mut self, _branch: &BranchInfo, predicted: bool, _sb: &PredicateScoreboard) {
+        self.checkpoints.push_back(self.history);
+        self.history.shift_in(predicted);
+    }
+
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        let checkpoint = self
+            .checkpoints
+            .pop_front()
+            .expect("perceptron commit without a matching speculate");
+        let sum = self.output_with(branch.pc, &checkpoint);
         let predicted = sum >= 0;
         if predicted != taken || sum.abs() <= self.theta {
-            let h = self.history.value();
+            let h = checkpoint.value();
             let t = if taken { 1 } else { -1 };
             let slot = self.slot(branch.pc);
             let w = &mut self.weights[slot];
@@ -104,6 +121,14 @@ impl BranchPredictor for Perceptron {
                 *wi = (*wi + t * x).clamp(WEIGHT_MIN, WEIGHT_MAX);
             }
         }
+    }
+
+    fn squash(&mut self, _branch: &BranchInfo, taken: bool, _scoreboard: &PredicateScoreboard) {
+        let checkpoint = *self
+            .checkpoints
+            .front()
+            .expect("perceptron squash without a matching speculate");
+        self.history = checkpoint;
         self.history.shift_in(taken);
     }
 

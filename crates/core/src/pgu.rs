@@ -104,8 +104,25 @@ impl<P: BranchPredictor + HasGlobalHistory> BranchPredictor for Pgu<P> {
         self.inner.predict(branch, scoreboard)
     }
 
-    fn update(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
-        self.inner.update(branch, taken, scoreboard);
+    // The lifecycle passes straight through to the wrapped predictor:
+    // `drain_visible` runs in `predict`, before `speculate` checkpoints
+    // the inner history, so checkpoints always include the predicate bits
+    // visible at fetch and a squash never rolls an insertion back.
+    fn speculate(
+        &mut self,
+        branch: &BranchInfo,
+        predicted: bool,
+        scoreboard: &PredicateScoreboard,
+    ) {
+        self.inner.speculate(branch, predicted, scoreboard);
+    }
+
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        self.inner.commit(branch, taken, scoreboard);
+    }
+
+    fn squash(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        self.inner.squash(branch, taken, scoreboard);
     }
 
     fn on_pred_write(&mut self, write: &PredWriteEvent) {

@@ -36,15 +36,49 @@ impl BranchInfo {
     }
 }
 
-/// A dynamic branch-direction predictor.
+/// A dynamic branch-direction predictor with a speculative-update
+/// lifecycle.
 ///
-/// Predictors are driven by [`crate::PredictionHarness`]: for every
-/// conditional branch, `predict` is called at "fetch" (with the
-/// predicate scoreboard reflecting what has resolved by then) and
-/// `update` is called immediately afterwards with the true outcome —
-/// the standard idealized trace-driven methodology. Predicate-definition
-/// events are forwarded through [`BranchPredictor::on_pred_write`] for
-/// predictors (like [`crate::Pgu`]) that consume them.
+/// Predictors are driven by [`crate::PredictionHarness`] through four
+/// phases, mirroring what real front ends do (speculative history update
+/// with checkpoint/repair) instead of the older idealized
+/// train-at-predict loop:
+///
+/// 1. **`predict`** — called at fetch, with the predicate scoreboard
+///    reflecting what has resolved by then. Must not change predictor
+///    state.
+/// 2. **`speculate`** — called immediately after `predict` (same
+///    scoreboard state) with the *predicted* direction. The predictor
+///    checkpoints whatever state the branch will later need to train or
+///    repair (history registers, BHT entries, component predictions) and
+///    shifts the predicted outcome into its speculative history, so
+///    younger branches predict against the speculated path.
+/// 3. **`commit`** — called once per speculated branch, in fetch order,
+///    after the harness's retire latency elapses. Pops the oldest
+///    checkpoint and trains the tables with the *fetch-time* state it
+///    recorded; the speculative history is left alone (it already holds
+///    the outcome — correct speculation, or the repair made by
+///    `squash`).
+/// 4. **`squash`** — called instead of nothing, right before `commit`,
+///    when the branch was mispredicted: rolls the speculative state back
+///    to the oldest checkpoint and shifts in the correct outcome. The
+///    harness flushes all younger in-flight branches before a squash, so
+///    at squash time the squashed branch holds the oldest (and only)
+///    outstanding checkpoint. `squash` must not pop the checkpoint — the
+///    `commit` that follows does.
+///
+/// Every `speculate` is balanced by exactly one `commit`, in the same
+/// order — commit order equals fetch order.
+///
+/// The provided [`BranchPredictor::update`] runs `speculate` + `commit`
+/// back to back, which *is* the idealized immediate-update methodology;
+/// a harness with retire latency 0 is equivalent to it event for event
+/// (the latency-0 equivalence guarantee the golden parity tests pin
+/// down).
+///
+/// Predicate-definition events are forwarded through
+/// [`BranchPredictor::on_pred_write`] for predictors (like
+/// [`crate::Pgu`]) that consume them.
 pub trait BranchPredictor {
     /// A short human-readable name (used in table rows).
     fn name(&self) -> String;
@@ -52,8 +86,40 @@ pub trait BranchPredictor {
     /// Predicts the branch direction: `true` = taken.
     fn predict(&mut self, branch: &BranchInfo, scoreboard: &PredicateScoreboard) -> bool;
 
-    /// Trains on the resolved outcome.
-    fn update(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard);
+    /// Checkpoints repair state for the fetched branch and speculatively
+    /// applies the predicted direction to the predictor's history.
+    ///
+    /// The default is for predictors with no speculative state (static,
+    /// oracle, per-PC counters): nothing to checkpoint, nothing to
+    /// shift.
+    fn speculate(
+        &mut self,
+        _branch: &BranchInfo,
+        _predicted: bool,
+        _scoreboard: &PredicateScoreboard,
+    ) {
+    }
+
+    /// Retires the oldest speculated branch: trains the tables on the
+    /// resolved outcome using the checkpointed fetch-time state.
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard);
+
+    /// Repairs a misprediction: restores the speculative state to the
+    /// oldest checkpoint and shifts in the correct outcome. Always
+    /// followed by the branch's `commit`.
+    ///
+    /// The default is for predictors whose `speculate` is a no-op.
+    fn squash(&mut self, _branch: &BranchInfo, _taken: bool, _scoreboard: &PredicateScoreboard) {}
+
+    /// Trains on the resolved outcome with zero retire latency:
+    /// `speculate` + `commit` back to back. This is the idealized
+    /// immediate-update convenience for drivers that don't model an
+    /// in-flight window (unit tests, throughput benches,
+    /// [`crate::HotBranches`]).
+    fn update(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        self.speculate(branch, taken, scoreboard);
+        self.commit(branch, taken, scoreboard);
+    }
 
     /// Observes a predicate definition (default: ignored).
     fn on_pred_write(&mut self, _write: &PredWriteEvent) {}
@@ -69,6 +135,23 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn predict(&mut self, branch: &BranchInfo, scoreboard: &PredicateScoreboard) -> bool {
         (**self).predict(branch, scoreboard)
+    }
+
+    fn speculate(
+        &mut self,
+        branch: &BranchInfo,
+        predicted: bool,
+        scoreboard: &PredicateScoreboard,
+    ) {
+        (**self).speculate(branch, predicted, scoreboard)
+    }
+
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        (**self).commit(branch, taken, scoreboard)
+    }
+
+    fn squash(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        (**self).squash(branch, taken, scoreboard)
     }
 
     fn update(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
@@ -119,7 +202,7 @@ impl BranchPredictor for StaticPredictor {
         }
     }
 
-    fn update(&mut self, _: &BranchInfo, _: bool, _: &PredicateScoreboard) {}
+    fn commit(&mut self, _: &BranchInfo, _: bool, _: &PredicateScoreboard) {}
 
     fn storage_bits(&self) -> usize {
         0

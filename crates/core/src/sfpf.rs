@@ -1,5 +1,7 @@
 //! The squash false-path filter (SFPF).
 
+use std::collections::VecDeque;
+
 use predbranch_sim::{PredWriteEvent, PredicateScoreboard};
 
 use crate::predictor::{BranchInfo, BranchPredictor};
@@ -24,6 +26,13 @@ use crate::predictor::{BranchInfo, BranchPredictor};
 ///   from it (which frees its tables from easy branches but loses their
 ///   history bits).
 ///
+/// Under the speculate/commit/squash lifecycle the filter latches its
+/// train-the-inner-predictor decision per branch at `speculate` time
+/// (when the scoreboard still holds its fetch-time state) and replays it
+/// at `commit`/`squash`, so a retire-delayed commit gates the inner
+/// predictor exactly as the fetch-time filter decision did. Filtered
+/// predictions are architecturally exact and are never squashed.
+///
 /// # Examples
 ///
 /// ```
@@ -41,6 +50,9 @@ pub struct SquashFilter<P> {
     /// Learned pc → guard table, when guard identification is modelled
     /// (None = decode information assumed available at fetch).
     guard_table: Option<Vec<Option<predbranch_isa::PredReg>>>,
+    /// Per-in-flight-branch gate, latched at `speculate`: whether the
+    /// inner predictor sees this branch's speculate/commit/squash.
+    inflight: VecDeque<bool>,
 }
 
 impl<P> SquashFilter<P> {
@@ -53,6 +65,7 @@ impl<P> SquashFilter<P> {
             update_filtered: true,
             filtered: 0,
             guard_table: None,
+            inflight: VecDeque::new(),
         }
     }
 
@@ -71,10 +84,12 @@ impl<P> SquashFilter<P> {
 
     /// Models *guard identification*: real hardware only knows a fetched
     /// branch's guard register after decoding it once, so the filter
-    /// keeps a `2^index_bits`-entry pc → guard table learned at update
-    /// time, and passes first encounters (and aliased entries with a
-    /// stale guard) through to the inner predictor. Without this, decode
-    /// information is assumed available at fetch (the idealized default).
+    /// keeps a `2^index_bits`-entry pc → guard table learned when the
+    /// branch commits, and passes first encounters (and aliased entries
+    /// with a stale guard) through to the inner predictor. Without this,
+    /// decode information is assumed available at fetch (the default,
+    /// which models a decoded-instruction cache carrying the guard
+    /// specifier).
     pub fn with_learned_guards(mut self, index_bits: u32) -> Self {
         assert!(
             (1..=24).contains(&index_bits),
@@ -145,13 +160,41 @@ impl<P: BranchPredictor> BranchPredictor for SquashFilter<P> {
         }
     }
 
-    fn update(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
-        if self.update_filtered || self.filter_decision(branch, scoreboard).is_none() {
-            self.inner.update(branch, taken, scoreboard);
+    fn speculate(
+        &mut self,
+        branch: &BranchInfo,
+        predicted: bool,
+        scoreboard: &PredicateScoreboard,
+    ) {
+        // Latch the gate with the fetch-time scoreboard state — the same
+        // state `predict` just saw — so a delayed commit reproduces the
+        // fetch-time filtering decision.
+        let inner_sees = self.update_filtered || self.filter_decision(branch, scoreboard).is_none();
+        self.inflight.push_back(inner_sees);
+        if inner_sees {
+            self.inner.speculate(branch, predicted, scoreboard);
+        }
+    }
+
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        let inner_sees = self
+            .inflight
+            .pop_front()
+            .expect("sfpf commit without a matching speculate");
+        if inner_sees {
+            self.inner.commit(branch, taken, scoreboard);
         }
         if let Some(table) = &mut self.guard_table {
             let slot = Self::guard_slot(table, branch.pc);
             table[slot] = Some(branch.guard);
+        }
+    }
+
+    fn squash(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        // Filtered predictions are architecturally exact, so a squash can
+        // only belong to a branch the inner predictor speculated on.
+        if self.inflight.front().copied().unwrap_or(false) {
+            self.inner.squash(branch, taken, scoreboard);
         }
     }
 

@@ -1,5 +1,7 @@
 //! The McFarling tournament (combining) predictor.
 
+use std::collections::VecDeque;
+
 use predbranch_sim::PredicateScoreboard;
 
 use crate::bimodal::Bimodal;
@@ -29,6 +31,9 @@ pub struct Tournament {
     gshare: Gshare,
     bimodal: Bimodal,
     chooser: CounterTable,
+    /// Per-in-flight-branch fetch-time component predictions `(g, b)`,
+    /// needed at commit to train the chooser on disagreement.
+    checkpoints: VecDeque<(bool, bool)>,
 }
 
 impl Tournament {
@@ -45,6 +50,7 @@ impl Tournament {
             gshare: Gshare::new(gshare_bits, history_bits),
             bimodal: Bimodal::new(bimodal_bits),
             chooser: CounterTable::new(chooser_bits),
+            checkpoints: VecDeque::new(),
         }
     }
 }
@@ -65,14 +71,37 @@ impl BranchPredictor for Tournament {
         }
     }
 
-    fn update(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+    fn speculate(
+        &mut self,
+        branch: &BranchInfo,
+        predicted: bool,
+        scoreboard: &PredicateScoreboard,
+    ) {
+        // Latch the fetch-time component predictions before the
+        // components speculate (their speculative shifts would change
+        // what the gshare component predicts).
         let g = self.gshare.predict(branch, scoreboard);
         let b = self.bimodal.predict(branch, scoreboard);
+        self.checkpoints.push_back((g, b));
+        self.gshare.speculate(branch, predicted, scoreboard);
+        self.bimodal.speculate(branch, predicted, scoreboard);
+    }
+
+    fn commit(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        let (g, b) = self
+            .checkpoints
+            .pop_front()
+            .expect("tournament commit without a matching speculate");
         if g != b {
             self.chooser.update(branch.pc as u64, g == taken);
         }
-        self.gshare.update(branch, taken, scoreboard);
-        self.bimodal.update(branch, taken, scoreboard);
+        self.gshare.commit(branch, taken, scoreboard);
+        self.bimodal.commit(branch, taken, scoreboard);
+    }
+
+    fn squash(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+        self.gshare.squash(branch, taken, scoreboard);
+        self.bimodal.squash(branch, taken, scoreboard);
     }
 
     fn storage_bits(&self) -> usize {

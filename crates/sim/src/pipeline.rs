@@ -2,11 +2,30 @@
 
 use std::fmt;
 
+/// The machine's default predicate resolve latency, in fetch slots: the
+/// distance between a compare executing and the first fetch that can
+/// observe its predicate result.
+///
+/// This is *the* single definition of the study's default — the
+/// scoreboard, [`PipelineConfig`], the prediction harness, and the
+/// experiment grid all derive their defaults from this constant.
+pub const DEFAULT_RESOLVE_LATENCY: u64 = 8;
+
+/// The default branch retire latency, in fetch slots: the distance
+/// between a branch being fetched (and predicted) and its resolved
+/// outcome training the predictor. `0` means the predictor trains
+/// before the next fetch — the classic idealized immediate-update
+/// methodology — and is the default so existing results reproduce
+/// exactly. Kept next to [`DEFAULT_RESOLVE_LATENCY`] because the two
+/// knobs describe the same front-end timing story.
+pub const DEFAULT_RETIRE_LATENCY: u64 = 0;
+
 /// Front-end and recovery parameters of the modelled machine.
 ///
 /// The defaults describe the EPIC-class machine the study assumes: a
 /// 6-wide fetch front end, a 10-cycle misprediction flush, and an 8-slot
-/// compare-to-fetch resolve latency for predicates.
+/// compare-to-fetch resolve latency for predicates
+/// ([`DEFAULT_RESOLVE_LATENCY`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Instructions fetched per cycle.
@@ -27,7 +46,7 @@ impl Default for PipelineConfig {
             fetch_width: 6,
             mispredict_penalty: 10,
             taken_bubble: 1,
-            resolve_latency: 8,
+            resolve_latency: DEFAULT_RESOLVE_LATENCY,
         }
     }
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use predbranch::core::{
-    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec,
+    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec, Timing,
 };
 use predbranch::sim::Executor;
 use predbranch::stats::{mean, Cell, Table};
@@ -64,7 +64,7 @@ fn main() {
             let mut harness = PredictionHarness::new(
                 build_predictor(&spec),
                 HarnessConfig {
-                    resolve_latency: 8,
+                    timing: Timing::immediate(8),
                     insert: InsertFilter::All,
                 },
             );

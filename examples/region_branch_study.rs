@@ -9,6 +9,7 @@
 
 use predbranch::core::{
     build_predictor, HarnessConfig, HotBranches, InsertFilter, PredictionHarness, PredictorSpec,
+    Timing,
 };
 use predbranch::sim::{Executor, GuardKnowledgeStats, RegionActivity};
 use predbranch::stats::{Cell, Table};
@@ -39,7 +40,7 @@ fn main() {
             let mut harness = PredictionHarness::new(
                 build_predictor(spec),
                 HarnessConfig {
-                    resolve_latency: 8,
+                    timing: Timing::immediate(8),
                     insert: InsertFilter::All,
                 },
             );

@@ -7,7 +7,7 @@
 //! ```
 
 use predbranch::core::{
-    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec,
+    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec, Timing,
 };
 use predbranch::sim::{Executor, PipelineConfig, PipelineModel};
 use predbranch::stats::{Cell, Table};
@@ -34,7 +34,7 @@ fn main() {
             let mut harness = PredictionHarness::new(
                 build_predictor(spec),
                 HarnessConfig {
-                    resolve_latency: 8,
+                    timing: Timing::immediate(8),
                     insert: InsertFilter::All,
                 },
             )

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use predbranch::core::{
-    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec,
+    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec, Timing,
 };
 use predbranch::isa::{decode, encode};
 use predbranch::sim::{Executor, TraceSink};
@@ -20,7 +20,7 @@ fn predictors_do_not_perturb_execution() {
         let mut harness = PredictionHarness::new(
             build_predictor(spec),
             HarnessConfig {
-                resolve_latency: 8,
+                timing: Timing::immediate(8),
                 insert: InsertFilter::All,
             },
         );
@@ -87,7 +87,7 @@ proptest! {
         let run = || {
             let mut harness = PredictionHarness::new(
                 build_predictor(&spec),
-                HarnessConfig { resolve_latency: 8, insert: InsertFilter::All },
+                HarnessConfig { timing: Timing::immediate(8), insert: InsertFilter::All },
             );
             Executor::new(&c.predicated, bench.input(seed)).run(&mut harness, 8_000_000);
             harness.metrics().all.mispredictions.get()

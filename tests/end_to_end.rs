@@ -4,7 +4,7 @@
 
 use predbranch::compiler::{if_convert, lower, IfConvertConfig};
 use predbranch::core::{
-    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec,
+    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec, Timing,
 };
 use predbranch::sim::{Executor, Memory, NullSink};
 use predbranch::workloads::{
@@ -15,7 +15,7 @@ fn misp_on(program: &predbranch::isa::Program, memory: Memory, spec: &PredictorS
     let mut harness = PredictionHarness::new(
         build_predictor(spec),
         HarnessConfig {
-            resolve_latency: 8,
+            timing: Timing::immediate(8),
             insert: InsertFilter::All,
         },
     );
@@ -53,7 +53,7 @@ fn squash_filter_never_mispredicts_known_false_guards() {
         let mut harness = PredictionHarness::new(
             build_predictor(&spec),
             HarnessConfig {
-                resolve_latency: 8,
+                timing: Timing::immediate(8),
                 insert: InsertFilter::All,
             },
         );
