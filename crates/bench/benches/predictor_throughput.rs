@@ -4,10 +4,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use predbranch_core::{
-    build_predictor, BranchInfo, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec,
-    Timing,
+    build_predictor, build_predictor_stack, BranchInfo, HarnessConfig, InsertFilter,
+    PredictionHarness, PredictorSpec, Timing,
 };
-use predbranch_sim::{Event, Executor, PredicateScoreboard, TraceSink};
+use predbranch_sim::{
+    Event, EventSink, Executor, PredicateScoreboard, TraceSink, EVENT_BATCH_CAPACITY,
+};
 use predbranch_workloads::{compile_benchmark, suite, CompileOptions, EVAL_SEED};
 
 /// Records the gzip analog's event stream once.
@@ -74,6 +76,63 @@ fn bench_predictors(c: &mut Criterion) {
     group.finish();
 }
 
+/// Harness replay throughput over the recorded stream, crossing retire
+/// latency (immediate 0 vs the study's realistic 8) with dispatch
+/// (boxed trait object, per-event delivery vs enum stack, batched
+/// delivery) — the four corners `experiments bench` summarizes.
+fn bench_harness_replay(c: &mut Criterion) {
+    let events = recorded_events();
+    let branches = events
+        .iter()
+        .filter(|e| matches!(e, Event::Branch(b) if b.conditional))
+        .count() as u64;
+    let spec = PredictorSpec::Gshare {
+        index_bits: 13,
+        history_bits: 13,
+    }
+    .with_sfpf()
+    .with_pgu(8);
+    let config = |retire: u64| HarnessConfig {
+        timing: Timing::new(8, retire),
+        insert: InsertFilter::All,
+    };
+    let mut group = c.benchmark_group("harness_replay");
+    group.throughput(Throughput::Elements(branches));
+    for retire in [0u64, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("dyn_per_event", retire),
+            &retire,
+            |b, &retire| {
+                b.iter(|| {
+                    let mut harness =
+                        PredictionHarness::new(build_predictor(&spec), config(retire));
+                    for event in &events {
+                        harness.event(event);
+                    }
+                    harness.finish();
+                    harness.metrics().all.mispredictions.get()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enum_batched", retire),
+            &retire,
+            |b, &retire| {
+                b.iter(|| {
+                    let mut harness =
+                        PredictionHarness::new(build_predictor_stack(&spec), config(retire));
+                    for chunk in events.chunks(EVENT_BATCH_CAPACITY) {
+                        harness.events(chunk);
+                    }
+                    harness.finish();
+                    harness.metrics().all.mispredictions.get()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_harness_end_to_end(c: &mut Criterion) {
     let bench = &suite()[0];
     let compiled = compile_benchmark(bench, &CompileOptions::default());
@@ -102,7 +161,8 @@ fn bench_harness_end_to_end(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_predictors, bench_harness_end_to_end, bench_compile_throughput
+    targets = bench_predictors, bench_harness_replay, bench_harness_end_to_end,
+        bench_compile_throughput
 }
 criterion_main!(benches);
 

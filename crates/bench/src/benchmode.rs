@@ -1,0 +1,417 @@
+//! `experiments bench` — the machine-readable replay-throughput
+//! baseline.
+//!
+//! Records one benchmark's event stream into an in-memory trace file,
+//! then times the two replay pipelines the runner has shipped:
+//!
+//! * **dyn** — the pre-refactor pipeline: every replay decodes the
+//!   trace bytes again ([`TraceReader::replay_per_event`]) and delivers
+//!   one [`EventSink::event`] call per event into a harness around
+//!   `Box<dyn BranchPredictor>`;
+//! * **enum** — the current pipeline in its steady state: the trace is
+//!   decoded once (the [`predbranch_trace::TraceCache`] memo does this
+//!   across a whole sweep) and every replay delivers
+//!   [`EVENT_BATCH_CAPACITY`]-sized chunks through
+//!   [`EventSink::events`] into a harness around the
+//!   statically-dispatched [`predbranch_core::PredictorStack`]. The
+//!   one-time decode runs in the warmup pass, exactly as a sweep pays
+//!   it once for dozens of replays.
+//!
+//! Every (config, retire latency) point is measured under both
+//! pipelines in the same process on the same logical stream, the
+//! prediction metrics are asserted identical (the refactor's
+//! byte-identical contract), and the result is written as
+//! `BENCH_5.json` so the perf trajectory accrues in CI.
+
+use std::time::Instant;
+
+use predbranch_core::{
+    build_predictor, build_predictor_stack, HarnessConfig, InsertFilter, PredictionHarness,
+    PredictorSpec, Timing,
+};
+use predbranch_sim::{Event, EventSink, Executor, TraceSink, EVENT_BATCH_CAPACITY};
+use predbranch_sweep::Json;
+use predbranch_trace::{program_hash, TraceHeader, TraceReader, TraceWriter};
+use predbranch_workloads::{compile_benchmark, suite, CompileOptions, EVAL_SEED};
+
+use crate::runner::DEFAULT_LATENCY;
+
+/// Retire latencies the baseline covers: idealized immediate update and
+/// the realistic 8-slot delay used throughout the study.
+pub const RETIRE_LATENCIES: [u64; 2] = [0, 8];
+
+/// The config whose dyn→enum speedup is the acceptance headline.
+pub const HEADLINE_CONFIG: &str = "gshare+sfpf+pgu";
+
+/// One measured (config, retire latency) point: both pipelines, same
+/// event stream, same process.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchPoint {
+    /// Human label of the predictor configuration.
+    pub config: &'static str,
+    /// Harness retire latency in fetch slots.
+    pub retire_latency: u64,
+    /// Conditional branches per second, decode-every-replay per-event
+    /// dyn pipeline.
+    pub dyn_branches_per_sec: f64,
+    /// Conditional branches per second, decode-once batched enum
+    /// pipeline.
+    pub enum_branches_per_sec: f64,
+    /// Conditional-branch mispredictions (identical on both paths).
+    pub mispredictions: u64,
+}
+
+impl BenchPoint {
+    /// enum over dyn throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.enum_branches_per_sec / self.dyn_branches_per_sec
+    }
+}
+
+/// A complete baseline: the recorded stream's shape plus every point.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark the event stream was recorded from.
+    pub benchmark: String,
+    /// Whether the quick (reduced-tiling) stream was used.
+    pub quick: bool,
+    /// Timed iterations per (config, retire, pipeline) point.
+    pub iterations: u32,
+    /// Events in the recorded stream.
+    pub events: u64,
+    /// Conditional branches in the recorded stream.
+    pub conditional_branches: u64,
+    /// Every measured point.
+    pub points: Vec<BenchPoint>,
+}
+
+/// The headline predictor configs, in report order.
+fn configs() -> Vec<(&'static str, PredictorSpec)> {
+    let base = PredictorSpec::Gshare {
+        index_bits: 13,
+        history_bits: 13,
+    };
+    vec![
+        ("gshare", base.clone()),
+        ("gshare+sfpf", base.clone().with_sfpf()),
+        ("gshare+pgu", base.clone().with_pgu(8)),
+        (HEADLINE_CONFIG, base.with_sfpf().with_pgu(8)),
+    ]
+}
+
+fn harness_config(retire: u64) -> HarnessConfig {
+    HarnessConfig {
+        timing: Timing::new(DEFAULT_LATENCY, retire),
+        insert: InsertFilter::All,
+    }
+}
+
+/// The recorded fixture both pipelines replay: the benchmark's name,
+/// the sealed trace bytes (what the dyn pipeline decodes every
+/// iteration), and the decoded event vector (what the enum pipeline's
+/// memo serves). Reader/writer round-trips are lossless, so the two
+/// are the same stream in different representations.
+struct Fixture {
+    benchmark: String,
+    bytes: Vec<u8>,
+    events: Vec<Event>,
+}
+
+/// Records the first suite benchmark's event stream once, then tiles
+/// it with strictly increasing instruction indices into a long,
+/// deterministic stream whose per-point timing is well above the noise
+/// floor (the raw run is only ~50k events, a couple of milliseconds
+/// per replay), and seals it as an in-memory trace file.
+fn fixture(quick: bool) -> Fixture {
+    let bench = &suite()[0];
+    let compiled = compile_benchmark(bench, &CompileOptions::default());
+    let program = compiled.predicated;
+    let mut trace = TraceSink::new();
+    let summary = Executor::new(&program, bench.input(EVAL_SEED)).run(&mut trace, 4_000_000);
+    assert!(summary.halted, "bench workload did not halt within budget");
+    let base = trace.events();
+    let copies = if quick { 8 } else { 40 };
+    let span = base.last().map_or(0, Event::index) + 64;
+
+    let header = TraceHeader::new(
+        bench.name(),
+        program_hash(&program),
+        EVAL_SEED,
+        span * copies,
+    );
+    let mut writer = TraceWriter::new(Vec::new(), &header).expect("in-memory trace");
+    let mut events = Vec::with_capacity(base.len() * copies as usize);
+    for k in 0..copies {
+        let offset = k * span;
+        for event in base {
+            let shifted = match *event {
+                Event::Branch(mut b) => {
+                    b.index += offset;
+                    Event::Branch(b)
+                }
+                Event::PredWrite(mut w) => {
+                    w.index += offset;
+                    Event::PredWrite(w)
+                }
+            };
+            writer.record(&shifted);
+            events.push(shifted);
+        }
+    }
+    // the tiled stream's summary: every per-run count scales linearly
+    let tiled_summary = predbranch_sim::RunSummary {
+        instructions: span * copies,
+        branches: summary.branches * copies,
+        conditional_branches: summary.conditional_branches * copies,
+        region_branches: summary.region_branches * copies,
+        taken_conditional: summary.taken_conditional * copies,
+        pred_writes: summary.pred_writes * copies,
+        halted: true,
+    };
+    let bytes = writer.finish(&tiled_summary).expect("in-memory trace");
+    Fixture {
+        benchmark: bench.name().to_string(),
+        bytes,
+        events,
+    }
+}
+
+/// One replay through the pre-refactor pipeline: decode the sealed
+/// trace bytes and deliver per-event into a boxed trait-object
+/// predictor.
+fn replay_dyn(
+    bytes: &[u8],
+    spec: &PredictorSpec,
+    retire: u64,
+) -> predbranch_core::PredictionMetrics {
+    let mut harness = PredictionHarness::new(build_predictor(spec), harness_config(retire));
+    TraceReader::new(bytes)
+        .expect("sealed fixture header")
+        .replay_per_event(&mut harness)
+        .expect("sealed fixture replays");
+    harness.finish();
+    *harness.metrics()
+}
+
+/// One replay through the current pipeline's steady state: the
+/// already-decoded (memoized) stream delivered in batches to the
+/// statically-dispatched stack.
+fn replay_enum(
+    events: &[Event],
+    spec: &PredictorSpec,
+    retire: u64,
+) -> predbranch_core::PredictionMetrics {
+    let mut harness = PredictionHarness::new(build_predictor_stack(spec), harness_config(retire));
+    for chunk in events.chunks(EVENT_BATCH_CAPACITY) {
+        harness.events(chunk);
+    }
+    harness.finish();
+    *harness.metrics()
+}
+
+/// Times `iterations` runs of `f`, returning the last run's metrics
+/// and the *minimum* per-run elapsed seconds — scheduler noise and
+/// cache pollution only ever add time, so the minimum is the robust
+/// throughput estimator on a shared machine. One untimed warmup run
+/// precedes the timed loop.
+fn time_replays<F: FnMut() -> predbranch_core::PredictionMetrics>(
+    iterations: u32,
+    mut f: F,
+) -> (predbranch_core::PredictionMetrics, f64) {
+    let mut metrics = f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        metrics = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (metrics, best)
+}
+
+/// Runs the full baseline: every config × retire latency, both
+/// pipelines, on one recorded stream.
+///
+/// # Panics
+///
+/// Panics if the two pipelines ever disagree on metrics — that would
+/// mean the refactor is *not* observationally invisible.
+pub fn run_bench(quick: bool) -> BenchReport {
+    let fixture = fixture(quick);
+    let branches = fixture
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::Branch(b) if b.conditional))
+        .count() as u64;
+    let iterations: u32 = if quick { 5 } else { 15 };
+    let mut points = Vec::new();
+    for (name, spec) in configs() {
+        for retire in RETIRE_LATENCIES {
+            let (dyn_metrics, dyn_secs) =
+                time_replays(iterations, || replay_dyn(&fixture.bytes, &spec, retire));
+            let (enum_metrics, enum_secs) =
+                time_replays(iterations, || replay_enum(&fixture.events, &spec, retire));
+            assert_eq!(
+                dyn_metrics, enum_metrics,
+                "pipelines disagree for {name} at retire {retire}"
+            );
+            let total = branches as f64;
+            points.push(BenchPoint {
+                config: name,
+                retire_latency: retire,
+                dyn_branches_per_sec: total / dyn_secs,
+                enum_branches_per_sec: total / enum_secs,
+                mispredictions: dyn_metrics.all.mispredictions.get(),
+            });
+        }
+    }
+    BenchReport {
+        benchmark: fixture.benchmark,
+        quick,
+        iterations,
+        events: fixture.events.len() as u64,
+        conditional_branches: branches,
+        points,
+    }
+}
+
+impl BenchReport {
+    /// The headline speedup: the *minimum* enum-over-dyn ratio across
+    /// retire latencies for [`HEADLINE_CONFIG`] — the conservative
+    /// number the acceptance gate reads.
+    pub fn headline_speedup(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.config == HEADLINE_CONFIG)
+            .map(BenchPoint::speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the machine-readable `BENCH_5.json` document.
+    pub fn to_json(&self) -> Json {
+        let results = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .field("config", p.config)
+                    .field("retire_latency", p.retire_latency)
+                    .field("dyn_branches_per_sec", p.dyn_branches_per_sec)
+                    .field("enum_branches_per_sec", p.enum_branches_per_sec)
+                    .field("speedup", p.speedup())
+                    .field("mispredictions", p.mispredictions)
+            })
+            .collect();
+        Json::obj()
+            .field("schema", "predbranch-bench/v1")
+            .field("benchmark", self.benchmark.as_str())
+            .field("quick", self.quick)
+            .field("iterations", u64::from(self.iterations))
+            .field("events", self.events)
+            .field("conditional_branches", self.conditional_branches)
+            .field("results", Json::Arr(results))
+            .field(
+                "headline",
+                Json::obj()
+                    .field("config", HEADLINE_CONFIG)
+                    .field("speedup", self.headline_speedup()),
+            )
+    }
+
+    /// Renders the human-readable summary table.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replay throughput · {} · {} events · {} cond branches · {} iters",
+            self.benchmark, self.events, self.conditional_branches, self.iterations
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6} {:>14} {:>14} {:>8}",
+            "config", "retire", "dyn br/s", "enum br/s", "speedup"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>6} {:>14.0} {:>14.0} {:>7.2}x",
+                p.config,
+                p.retire_latency,
+                p.dyn_branches_per_sec,
+                p.enum_branches_per_sec,
+                p.speedup()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "headline ({HEADLINE_CONFIG}): {:.2}x enum over dyn",
+            self.headline_speedup()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelines_agree_on_the_fixture() {
+        let fixture = fixture(true);
+        for (_, spec) in configs() {
+            for retire in RETIRE_LATENCIES {
+                assert_eq!(
+                    replay_dyn(&fixture.bytes, &spec, retire),
+                    replay_enum(&fixture.events, &spec, retire)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixture_bytes_decode_to_fixture_events() {
+        let fixture = fixture(true);
+        let (decoded, stats) = TraceReader::new(fixture.bytes.as_slice())
+            .unwrap()
+            .read_events()
+            .unwrap();
+        assert_eq!(decoded, fixture.events);
+        assert_eq!(stats.events, fixture.events.len() as u64);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = BenchReport {
+            benchmark: "gzip".into(),
+            quick: true,
+            iterations: 1,
+            events: 10,
+            conditional_branches: 4,
+            points: vec![BenchPoint {
+                config: HEADLINE_CONFIG,
+                retire_latency: 0,
+                dyn_branches_per_sec: 1.0,
+                enum_branches_per_sec: 2.5,
+                mispredictions: 1,
+            }],
+        };
+        assert!((report.headline_speedup() - 2.5).abs() < 1e-9);
+        let json = report.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("predbranch-bench/v1")
+        );
+        assert_eq!(
+            json.get("results").and_then(Json::as_arr).map(<[_]>::len),
+            Some(1)
+        );
+        let parsed = Json::parse(&json.render()).unwrap();
+        assert_eq!(
+            parsed
+                .get("headline")
+                .and_then(|h| h.get("config"))
+                .and_then(Json::as_str),
+            Some(HEADLINE_CONFIG)
+        );
+    }
+}

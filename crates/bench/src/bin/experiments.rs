@@ -21,13 +21,21 @@
 //! experiments --checkpoint run.ckpt all
 //!                            # journal completed cells; an interrupted
 //!                            # sweep resumes from where it died
+//! experiments --dispatch dyn all
+//!                            # drive predictors through the boxed
+//!                            # trait-object path instead of the
+//!                            # statically-dispatched enum stack
+//!                            # (identical output, for A/B checks)
+//! experiments bench --json --quick
+//!                            # measure replay throughput (dyn vs enum,
+//!                            # retire 0 and 8) and write BENCH_5.json
 //! ```
 
 use std::process::ExitCode;
 
 use predbranch_bench::experiments::find_experiment;
-use predbranch_bench::runner::RunContext;
-use predbranch_bench::{all_experiments, Scale};
+use predbranch_bench::runner::{Dispatch, RunContext};
+use predbranch_bench::{all_experiments, benchmode, Scale};
 use predbranch_sweep::ManifestBuilder;
 
 fn main() -> ExitCode {
@@ -44,6 +52,7 @@ fn main() -> ExitCode {
     let quick = flag("--quick");
     let bars = flag("--bars");
     let markdown = flag("--markdown");
+    let json = flag("--json");
     let mut valued = |name: &str| -> Result<Option<String>, String> {
         match args.iter().position(|a| a == name) {
             Some(pos) if pos + 1 < args.len() => {
@@ -55,18 +64,28 @@ fn main() -> ExitCode {
             None => Ok(None),
         }
     };
-    let (trace_cache, jobs, manifest_path, checkpoint_path, retire) = match (
+    let (trace_cache, jobs, manifest_path, checkpoint_path, retire, dispatch, out) = match (
         valued("--trace-cache"),
         valued("--jobs"),
         valued("--manifest"),
         valued("--checkpoint"),
         valued("--retire-latency"),
+        valued("--dispatch"),
+        valued("--out"),
     ) {
-        (Ok(tc), Ok(j), Ok(m), Ok(c), Ok(r)) => (tc, j, m, c, r),
-        (tc, j, m, c, r) => {
-            for err in [tc.err(), j.err(), m.err(), c.err(), r.err()]
-                .into_iter()
-                .flatten()
+        (Ok(tc), Ok(j), Ok(m), Ok(c), Ok(r), Ok(d), Ok(o)) => (tc, j, m, c, r, d, o),
+        (tc, j, m, c, r, d, o) => {
+            for err in [
+                tc.err(),
+                j.err(),
+                m.err(),
+                c.err(),
+                r.err(),
+                d.err(),
+                o.err(),
+            ]
+            .into_iter()
+            .flatten()
             {
                 eprintln!("{err}");
             }
@@ -87,8 +106,31 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let dispatch: Dispatch = match dispatch.as_deref().map(str::parse).transpose() {
+        Ok(d) => d.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("--dispatch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    let mut ctx = RunContext::new().with_jobs(jobs);
+    if args.iter().any(|a| a == "bench") {
+        eprintln!("running bench — replay throughput baseline ...");
+        let report = benchmode::run_bench(quick);
+        print!("{}", report.to_text());
+        if json {
+            let path = out.as_deref().unwrap_or("BENCH_5.json");
+            let body = format!("{}\n", report.to_json().render());
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ctx = RunContext::new().with_jobs(jobs).with_dispatch(dispatch);
     if let Some(dir) = &trace_cache {
         ctx = match ctx.with_trace_cache(dir) {
             Ok(ctx) => ctx,
@@ -130,7 +172,8 @@ fn main() -> ExitCode {
         println!("experiments — regenerate the study's tables and figures\n");
         println!(
             "usage: experiments [--quick] [--jobs N] [--retire-latency R] \
-             [--trace-cache <dir>] [--manifest <file>] [--checkpoint <file>] <id>... | all\n"
+             [--dispatch enum|dyn] [--trace-cache <dir>] [--manifest <file>] \
+             [--checkpoint <file>] <id>... | all | bench [--json] [--out <file>]\n"
         );
         for exp in all_experiments() {
             println!("  {:<4} {}", exp.id, exp.title);

@@ -14,11 +14,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod benchmode;
 pub mod experiments;
 pub mod runner;
 
 pub use experiments::{all_experiments, Artifact, Experiment, Scale};
 pub use runner::{
-    compiled_suite, run_spec, CellSpec, RunContext, RunOutcome, RunStats, SuiteEntry,
-    DEFAULT_LATENCY, PGU_DELAY,
+    compiled_suite, run_spec, run_spec_dispatch, CellSpec, Dispatch, RunContext, RunOutcome,
+    RunStats, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY,
 };

@@ -23,11 +23,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use predbranch_core::{
-    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictionMetrics,
-    PredictorSpec, Timing,
+    build_predictor, build_predictor_stack, BranchPredictor, HarnessConfig, InsertFilter,
+    PredictionHarness, PredictionMetrics, PredictorSpec, Timing,
 };
 use predbranch_isa::Program;
-use predbranch_sim::{Executor, Memory, RunSummary};
+use predbranch_sim::{Event, Executor, Memory, RunSummary, EVENT_BATCH_CAPACITY};
 use predbranch_sweep::{CellRecord, CellSource, Checkpoint, Json, ManifestBuilder, WorkerPool};
 use predbranch_trace::{memory_fingerprint, program_hash, CacheKey, TraceCache};
 use predbranch_workloads::{
@@ -46,6 +46,37 @@ pub const PGU_DELAY: u64 = 8;
 
 /// Instruction budget for every experiment cell.
 const CELL_BUDGET: u64 = 2 * DEFAULT_MAX_INSTRUCTIONS;
+
+/// How predictor calls are dispatched on the hot path.
+///
+/// Both paths drive predictors whose *state transitions* are identical
+/// — [`predbranch_core::PredictorStack`] is a structural mirror of
+/// [`build_predictor`] — so every experiment result is byte-identical
+/// under either setting. `Dyn` exists as an A/B lever: the golden-parity
+/// suite runs under both, and `experiments bench` measures the gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Statically-dispatched [`predbranch_core::PredictorStack`] enum
+    /// (the default): each predictor operation is one match and a
+    /// direct, inlinable call.
+    #[default]
+    Enum,
+    /// `Box<dyn BranchPredictor>` — the pre-refactor shape, one virtual
+    /// call per predictor operation.
+    Dyn,
+}
+
+impl std::str::FromStr for Dispatch {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "enum" => Ok(Dispatch::Enum),
+            "dyn" => Ok(Dispatch::Dyn),
+            other => Err(format!("unknown dispatch `{other}` (expected enum|dyn)")),
+        }
+    }
+}
 
 /// A benchmark plus its two compiled binaries.
 #[derive(Debug)]
@@ -272,6 +303,7 @@ pub struct RunContext {
     manifest: Option<Arc<ManifestBuilder>>,
     counters: Arc<RunCounters>,
     suites: Arc<Mutex<SuiteMemo>>,
+    dispatch: Dispatch,
 }
 
 impl RunContext {
@@ -318,6 +350,19 @@ impl RunContext {
     pub fn with_manifest(mut self, manifest: ManifestBuilder) -> Self {
         self.manifest = Some(Arc::new(manifest));
         self
+    }
+
+    /// Selects the predictor dispatch path (default [`Dispatch::Enum`]).
+    /// Outcomes are identical under both; cache and checkpoint entries
+    /// are therefore shared freely across dispatch modes.
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The configured dispatch path.
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
     }
 
     /// The configured parallelism.
@@ -444,7 +489,22 @@ impl RunContext {
     }
 
     fn execute(&self, cell: &CellSpec) -> (RunOutcome, CellSource) {
-        let predictor = build_predictor(&cell.spec);
+        match self.dispatch {
+            Dispatch::Enum => self.execute_with(build_predictor_stack(&cell.spec), cell),
+            Dispatch::Dyn => self.execute_with(build_predictor(&cell.spec), cell),
+        }
+    }
+
+    /// Runs `cell` through `predictor`, monomorphized per dispatch path
+    /// so the enum stack's calls inline. Events reach the harness in
+    /// [`EVENT_BATCH_CAPACITY`]-sized chunks on both the replay and the
+    /// live path; the harness carries no timeline here, so skipping
+    /// per-instruction callbacks is observationally irrelevant.
+    fn execute_with<P: BranchPredictor>(
+        &self,
+        predictor: P,
+        cell: &CellSpec,
+    ) -> (RunOutcome, CellSource) {
         let mut harness = PredictionHarness::new(
             predictor,
             HarnessConfig {
@@ -475,8 +535,12 @@ impl RunContext {
             }
             None => {
                 self.counters.live_runs.fetch_add(1, Ordering::Relaxed);
-                let summary = Executor::new(&cell.program, cell.memory.clone())
-                    .run(&mut harness, CELL_BUDGET);
+                let mut buffer: Vec<Event> = Vec::with_capacity(EVENT_BATCH_CAPACITY);
+                let summary = Executor::new(&cell.program, cell.memory.clone()).run_batched(
+                    &mut harness,
+                    CELL_BUDGET,
+                    &mut buffer,
+                );
                 (summary, CellSource::Live)
             }
         };
@@ -518,14 +582,47 @@ pub fn run_spec(
     timing: Timing,
     insert: InsertFilter,
 ) -> RunOutcome {
-    let mut harness =
-        PredictionHarness::new(build_predictor(spec), HarnessConfig { timing, insert });
-    let summary = Executor::new(program, memory).run(&mut harness, CELL_BUDGET);
-    assert!(summary.halted, "experiment program did not halt");
-    harness.finish();
-    RunOutcome {
-        metrics: *harness.metrics(),
-        summary,
+    run_spec_dispatch(program, memory, spec, timing, insert, Dispatch::Enum)
+}
+
+/// [`run_spec`] with an explicit dispatch path — the A/B primitive the
+/// throughput benches and `experiments bench` time. Both paths deliver
+/// events to the harness in batches; only the predictor call dispatch
+/// differs, and outcomes are identical.
+///
+/// # Panics
+///
+/// Panics if the program fails to halt within the suite instruction
+/// budget.
+pub fn run_spec_dispatch(
+    program: &Program,
+    memory: Memory,
+    spec: &PredictorSpec,
+    timing: Timing,
+    insert: InsertFilter,
+    dispatch: Dispatch,
+) -> RunOutcome {
+    fn with<P: BranchPredictor>(
+        predictor: P,
+        program: &Program,
+        memory: Memory,
+        timing: Timing,
+        insert: InsertFilter,
+    ) -> RunOutcome {
+        let mut harness = PredictionHarness::new(predictor, HarnessConfig { timing, insert });
+        let mut buffer = Vec::with_capacity(EVENT_BATCH_CAPACITY);
+        let summary =
+            Executor::new(program, memory).run_batched(&mut harness, CELL_BUDGET, &mut buffer);
+        assert!(summary.halted, "experiment program did not halt");
+        harness.finish();
+        RunOutcome {
+            metrics: *harness.metrics(),
+            summary,
+        }
+    }
+    match dispatch {
+        Dispatch::Enum => with(build_predictor_stack(spec), program, memory, timing, insert),
+        Dispatch::Dyn => with(build_predictor(spec), program, memory, timing, insert),
     }
 }
 

@@ -9,7 +9,7 @@
 //! change — fails this test.
 
 use predbranch_bench::experiments::find_experiment;
-use predbranch_bench::{RunContext, Scale};
+use predbranch_bench::{Dispatch, RunContext, Scale};
 
 /// The experiment ids the golden file covers, in `all` order. F16 was
 /// added together with the retire-latency knob, so it has no
@@ -21,8 +21,18 @@ const GOLDEN_IDS: [&str; 17] = [
 
 #[test]
 fn quick_all_output_is_byte_identical_to_pre_refactor_golden() {
+    // default dispatch: the statically-dispatched PredictorStack
+    assert_golden(RunContext::new());
+}
+
+#[test]
+fn quick_all_output_is_byte_identical_under_dyn_dispatch() {
+    // the boxed trait-object escape hatch must agree byte for byte
+    assert_golden(RunContext::new().with_dispatch(Dispatch::Dyn));
+}
+
+fn assert_golden(ctx: RunContext) {
     let golden = include_str!("golden/quick_all.txt");
-    let ctx = RunContext::new();
     let scale = Scale::quick();
     assert_eq!(scale.retire_latency, 0, "golden was captured at retire 0");
 

@@ -8,12 +8,11 @@
 //! the other 1990s technique aimed at exactly the branch population this
 //! study targets.
 
-use std::collections::VecDeque;
-
 use predbranch_sim::PredicateScoreboard;
 
 use crate::history::GlobalHistory;
 use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::ring::Checkpoints;
 use crate::tables::{CounterTable, TwoBitCounter};
 
 /// An agree predictor: a per-branch bias bit (latched at the branch's
@@ -34,7 +33,7 @@ pub struct Agree {
     table: CounterTable,
     history: GlobalHistory,
     bias_bits: u32,
-    checkpoints: VecDeque<GlobalHistory>,
+    checkpoints: Checkpoints<GlobalHistory>,
 }
 
 impl Agree {
@@ -51,7 +50,7 @@ impl Agree {
             table: CounterTable::with_initial(index_bits, TwoBitCounter::weakly_taken()),
             history: GlobalHistory::new(history_bits),
             bias_bits: index_bits,
-            checkpoints: VecDeque::new(),
+            checkpoints: Checkpoints::new(),
         }
     }
 

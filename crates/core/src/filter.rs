@@ -1,0 +1,182 @@
+//! PGU insertion-filter policies and guard-definition analysis.
+//!
+//! Lives outside the harness hot module so `harness.rs` carries no
+//! `std::collections::HashSet` dependency: the set-based
+//! [`InsertFilter`] is a configuration-time value which the harness
+//! lowers once (at construction) into a sorted-slice representation
+//! ([`LoweredFilter`]) queried by binary search per predicate write —
+//! no hashing and no per-event allocation on the hot path.
+
+use std::collections::HashSet;
+
+use predbranch_isa::{Op, Program};
+use predbranch_sim::PredWriteEvent;
+
+/// Policy selecting which predicate definitions are forwarded to the
+/// predictor's [`crate::BranchPredictor::on_pred_write`] hook — the PGU
+/// insertion-filter ablation.
+///
+/// The fetch-time scoreboard is always updated regardless of this
+/// filter; it only gates what enters the predictor's history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertFilter {
+    /// Forward every predicate definition (the default PGU policy).
+    All,
+    /// Forward only definitions from the given compare PCs (e.g. the
+    /// guard-defining compares computed by [`guard_def_pcs`]).
+    Pcs(HashSet<u32>),
+    /// Forward nothing (PGU degenerates to its wrapped baseline).
+    None,
+}
+
+impl InsertFilter {
+    /// Lowers the policy into the allocation-free form the harness
+    /// queries per event.
+    pub(crate) fn lower(&self) -> LoweredFilter {
+        match self {
+            InsertFilter::All => LoweredFilter::All,
+            InsertFilter::Pcs(set) => {
+                let mut pcs: Vec<u32> = set.iter().copied().collect();
+                pcs.sort_unstable();
+                LoweredFilter::Pcs(pcs)
+            }
+            InsertFilter::None => LoweredFilter::None,
+        }
+    }
+}
+
+/// [`InsertFilter`] lowered for the hot path: the PC set becomes a
+/// sorted vector probed by binary search, so the per-event check does
+/// no hashing and the harness module never touches `HashSet`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum LoweredFilter {
+    /// Every definition passes.
+    All,
+    /// Only definitions from these PCs (sorted ascending) pass.
+    Pcs(Vec<u32>),
+    /// Nothing passes.
+    None,
+}
+
+impl LoweredFilter {
+    #[inline]
+    pub(crate) fn passes(&self, write: &PredWriteEvent) -> bool {
+        match self {
+            LoweredFilter::All => true,
+            LoweredFilter::Pcs(pcs) => pcs.binary_search(&write.pc).is_ok(),
+            LoweredFilter::None => false,
+        }
+    }
+}
+
+/// Computes the static set of compare PCs that define some branch's guard
+/// predicate — the `guard-defs-only` PGU insertion filter.
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_core::guard_def_pcs;
+/// use predbranch_isa::assemble;
+///
+/// let p = assemble(
+///     "start: cmp.lt p1, p2 = r1, 5\n cmp.eq p3, p4 = r2, 0\n (p1) br start\n halt",
+/// ).unwrap();
+/// let pcs = guard_def_pcs(&p);
+/// assert!(pcs.contains(&0));  // defines p1, the branch guard
+/// assert!(!pcs.contains(&1)); // p3/p4 guard nothing
+/// ```
+pub fn guard_def_pcs(program: &Program) -> HashSet<u32> {
+    let mut guards = HashSet::new();
+    for (_, inst) in program.iter() {
+        if inst.is_branch() && !inst.guard.is_always_true() {
+            guards.insert(inst.guard);
+        }
+    }
+    let mut pcs = HashSet::new();
+    for (pc, inst) in program.iter() {
+        if let Op::Cmp {
+            p_true, p_false, ..
+        } = inst.op
+        {
+            if guards.contains(&p_true) || guards.contains(&p_false) {
+                pcs.insert(pc);
+            }
+        }
+    }
+    pcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predbranch_isa::assemble;
+
+    #[test]
+    fn guard_def_pcs_includes_parallel_compare_types() {
+        // and/or/or.andcm parallel compares that (partially) define a
+        // branch guard are guard definitions just like plain compares
+        let program = assemble(
+            r#"
+                cmp.lt p1, p2 = r1, 5          // pc 0: defines p1 (guard)
+                cmp.gt.and p1, p3 = r2, 0      // pc 1: and-type, touches p1
+                cmp.ne.or p1, p4 = r3, 1       // pc 2: or-type, touches p1
+                cmp.ge.or.andcm p1, p5 = r4, 2 // pc 3: or.andcm, touches p1
+                cmp.eq p6, p7 = r5, 3          // pc 4: guards nothing
+                (p1) br done
+            done:
+                halt
+            "#,
+        )
+        .unwrap();
+        let pcs = guard_def_pcs(&program);
+        assert!(pcs.contains(&0), "plain cmp defining the guard");
+        assert!(pcs.contains(&1), "and-type compare defining the guard");
+        assert!(pcs.contains(&2), "or-type compare defining the guard");
+        assert!(pcs.contains(&3), "or.andcm compare defining the guard");
+        assert!(!pcs.contains(&4), "compare of unguarded predicates");
+        assert_eq!(pcs.len(), 4);
+    }
+
+    #[test]
+    fn guard_def_pcs_collects_every_definition_of_a_guard() {
+        // a guard with multiple defining compares (both polarities count:
+        // p2 is defined as the false-target of pc 0 and the true-target
+        // of pc 2)
+        let program = assemble(
+            r#"
+                cmp.lt p1, p2 = r1, 5
+                cmp.eq p3, p4 = r2, 0
+                cmp.gt p2, p5 = r3, 9
+                (p2) br out
+                (p4) br out
+            out:
+                halt
+            "#,
+        )
+        .unwrap();
+        let pcs = guard_def_pcs(&program);
+        assert!(pcs.contains(&0), "p2 defined via the false target");
+        assert!(pcs.contains(&1), "p4 is also a branch guard");
+        assert!(pcs.contains(&2), "p2 defined via the true target");
+        assert_eq!(pcs.len(), 3);
+    }
+
+    #[test]
+    fn lowered_filter_matches_set_semantics() {
+        let write = |pc: u32| PredWriteEvent {
+            pc,
+            preg: predbranch_isa::PredReg::new(1).unwrap(),
+            value: true,
+            index: 0,
+            guard: predbranch_isa::PredReg::new(0).unwrap(),
+            guard_value: true,
+        };
+        let set: HashSet<u32> = [3, 9, 200].into_iter().collect();
+        let filter = InsertFilter::Pcs(set.clone()).lower();
+        for pc in 0..300 {
+            assert_eq!(filter.passes(&write(pc)), set.contains(&pc), "pc {pc}");
+        }
+        assert!(InsertFilter::All.lower().passes(&write(7)));
+        assert!(!InsertFilter::None.lower().passes(&write(7)));
+    }
+}

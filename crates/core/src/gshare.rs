@@ -1,11 +1,10 @@
 //! The gshare global-history predictor.
 
-use std::collections::VecDeque;
-
 use predbranch_sim::PredicateScoreboard;
 
 use crate::history::GlobalHistory;
 use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::ring::Checkpoints;
 use crate::tables::CounterTable;
 
 /// McFarling's gshare: a 2-bit counter table indexed by `PC ⊕ global
@@ -33,7 +32,7 @@ use crate::tables::CounterTable;
 pub struct Gshare {
     table: CounterTable,
     history: GlobalHistory,
-    checkpoints: VecDeque<GlobalHistory>,
+    checkpoints: Checkpoints<GlobalHistory>,
 }
 
 impl Gshare {
@@ -48,7 +47,7 @@ impl Gshare {
         Gshare {
             table: CounterTable::new(index_bits),
             history: GlobalHistory::new(history_bits),
-            checkpoints: VecDeque::new(),
+            checkpoints: Checkpoints::new(),
         }
     }
 

@@ -1,47 +1,19 @@
 //! Drives a predictor from the simulator's event stream through an
 //! in-flight branch window (predict → speculate → commit/squash).
 
-use std::collections::{HashSet, VecDeque};
-
-use predbranch_isa::{Op, Program};
 use predbranch_sim::{
     BranchEvent, Event, EventSink, FetchTimeline, PipelineConfig, PredWriteEvent,
     PredicateScoreboard, DEFAULT_RESOLVE_LATENCY, DEFAULT_RETIRE_LATENCY,
 };
 
+use crate::filter::{InsertFilter, LoweredFilter};
 use crate::predictor::{BranchInfo, BranchPredictor, PredictionMetrics};
+use crate::ring::Ring;
 
 /// Capacity of the harness's in-flight branch window (a bounded reorder
 /// buffer): when full, the oldest pending branch is force-retired to make
 /// room, like a real ROB stalling-then-retiring at capacity.
 const WINDOW_CAPACITY: usize = 64;
-
-/// Policy selecting which predicate definitions are forwarded to the
-/// predictor's [`BranchPredictor::on_pred_write`] hook — the PGU
-/// insertion-filter ablation.
-///
-/// The fetch-time scoreboard is always updated regardless of this
-/// filter; it only gates what enters the predictor's history.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum InsertFilter {
-    /// Forward every predicate definition (the default PGU policy).
-    All,
-    /// Forward only definitions from the given compare PCs (e.g. the
-    /// guard-defining compares computed by [`guard_def_pcs`]).
-    Pcs(HashSet<u32>),
-    /// Forward nothing (PGU degenerates to its wrapped baseline).
-    None,
-}
-
-impl InsertFilter {
-    fn passes(&self, write: &PredWriteEvent) -> bool {
-        match self {
-            InsertFilter::All => true,
-            InsertFilter::Pcs(set) => set.contains(&write.pc),
-            InsertFilter::None => false,
-        }
-    }
-}
 
 /// Update-timing knobs of the prediction pathway.
 ///
@@ -113,43 +85,6 @@ impl Default for HarnessConfig {
     }
 }
 
-/// Computes the static set of compare PCs that define some branch's guard
-/// predicate — the `guard-defs-only` PGU insertion filter.
-///
-/// # Examples
-///
-/// ```
-/// use predbranch_core::guard_def_pcs;
-/// use predbranch_isa::assemble;
-///
-/// let p = assemble(
-///     "start: cmp.lt p1, p2 = r1, 5\n cmp.eq p3, p4 = r2, 0\n (p1) br start\n halt",
-/// ).unwrap();
-/// let pcs = guard_def_pcs(&p);
-/// assert!(pcs.contains(&0));  // defines p1, the branch guard
-/// assert!(!pcs.contains(&1)); // p3/p4 guard nothing
-/// ```
-pub fn guard_def_pcs(program: &Program) -> HashSet<u32> {
-    let mut guards = HashSet::new();
-    for (_, inst) in program.iter() {
-        if inst.is_branch() && !inst.guard.is_always_true() {
-            guards.insert(inst.guard);
-        }
-    }
-    let mut pcs = HashSet::new();
-    for (pc, inst) in program.iter() {
-        if let Op::Cmp {
-            p_true, p_false, ..
-        } = inst.op
-        {
-            if guards.contains(&p_true) || guards.contains(&p_false) {
-                pcs.insert(pc);
-            }
-        }
-    }
-    pcs
-}
-
 /// A conditional branch in flight between fetch and retire.
 #[derive(Debug, Clone, Copy)]
 struct InFlightBranch {
@@ -187,11 +122,13 @@ struct InFlightBranch {
 pub struct PredictionHarness<P> {
     predictor: P,
     scoreboard: PredicateScoreboard,
-    insert: InsertFilter,
+    /// The configured [`InsertFilter`], lowered at construction to a
+    /// sorted-slice form so the per-event check needs no hashing.
+    insert: LoweredFilter,
     metrics: PredictionMetrics,
     timeline: Option<FetchTimeline>,
     retire_latency: u64,
-    window: VecDeque<InFlightBranch>,
+    window: Ring<InFlightBranch, WINDOW_CAPACITY>,
     flush_pending: bool,
 }
 
@@ -201,11 +138,11 @@ impl<P: BranchPredictor> PredictionHarness<P> {
         PredictionHarness {
             predictor,
             scoreboard: PredicateScoreboard::new(config.timing.resolve_latency),
-            insert: config.insert,
+            insert: config.insert.lower(),
             metrics: PredictionMetrics::default(),
             timeline: None,
             retire_latency: config.timing.retire_latency,
-            window: VecDeque::new(),
+            window: Ring::new(),
             flush_pending: false,
         }
     }
@@ -466,7 +403,7 @@ mod tests {
     #[test]
     fn insert_filter_pcs_selects_compares() {
         let program = assemble(LOOP).unwrap();
-        let pcs = guard_def_pcs(&program);
+        let pcs = crate::filter::guard_def_pcs(&program);
         // only the loop compare defines a branch guard
         assert_eq!(pcs.len(), 1);
         let config = HarnessConfig {
@@ -509,56 +446,6 @@ mod tests {
         let (cycles_bad, misp_bad) = run_with(false);
         assert!(misp_good < misp_bad);
         assert!(cycles_good < cycles_bad, "{cycles_good} !< {cycles_bad}");
-    }
-
-    #[test]
-    fn guard_def_pcs_includes_parallel_compare_types() {
-        // and/or/or.andcm parallel compares that (partially) define a
-        // branch guard are guard definitions just like plain compares
-        let program = assemble(
-            r#"
-                cmp.lt p1, p2 = r1, 5          // pc 0: defines p1 (guard)
-                cmp.gt.and p1, p3 = r2, 0      // pc 1: and-type, touches p1
-                cmp.ne.or p1, p4 = r3, 1       // pc 2: or-type, touches p1
-                cmp.ge.or.andcm p1, p5 = r4, 2 // pc 3: or.andcm, touches p1
-                cmp.eq p6, p7 = r5, 3          // pc 4: guards nothing
-                (p1) br done
-            done:
-                halt
-            "#,
-        )
-        .unwrap();
-        let pcs = guard_def_pcs(&program);
-        assert!(pcs.contains(&0), "plain cmp defining the guard");
-        assert!(pcs.contains(&1), "and-type compare defining the guard");
-        assert!(pcs.contains(&2), "or-type compare defining the guard");
-        assert!(pcs.contains(&3), "or.andcm compare defining the guard");
-        assert!(!pcs.contains(&4), "compare of unguarded predicates");
-        assert_eq!(pcs.len(), 4);
-    }
-
-    #[test]
-    fn guard_def_pcs_collects_every_definition_of_a_guard() {
-        // a guard with multiple defining compares (both polarities count:
-        // p2 is defined as the false-target of pc 0 and the true-target
-        // of pc 2)
-        let program = assemble(
-            r#"
-                cmp.lt p1, p2 = r1, 5
-                cmp.eq p3, p4 = r2, 0
-                cmp.gt p2, p5 = r3, 9
-                (p2) br out
-                (p4) br out
-            out:
-                halt
-            "#,
-        )
-        .unwrap();
-        let pcs = guard_def_pcs(&program);
-        assert!(pcs.contains(&0), "p2 defined via the false target");
-        assert!(pcs.contains(&1), "p4 is also a branch guard");
-        assert!(pcs.contains(&2), "p2 defined via the true target");
-        assert_eq!(pcs.len(), 3);
     }
 
     #[test]

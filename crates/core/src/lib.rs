@@ -65,6 +65,7 @@
 mod agree;
 mod bimodal;
 mod config;
+mod filter;
 mod gshare;
 mod harness;
 mod history;
@@ -74,15 +75,18 @@ mod oracle;
 mod perceptron;
 mod pgu;
 mod predictor;
+mod ring;
 mod sfpf;
+mod stack;
 mod tables;
 mod tournament;
 
 pub use agree::Agree;
 pub use bimodal::Bimodal;
 pub use config::{build_predictor, PredictorSpec};
+pub use filter::{guard_def_pcs, InsertFilter};
 pub use gshare::Gshare;
-pub use harness::{guard_def_pcs, HarnessConfig, InsertFilter, PredictionHarness, Timing};
+pub use harness::{HarnessConfig, PredictionHarness, Timing};
 pub use history::GlobalHistory;
 pub use hot::HotBranches;
 pub use local::Local;
@@ -93,6 +97,8 @@ pub use predictor::StaticPredictor;
 pub use predictor::{
     BranchInfo, BranchPredictor, ClassCounts, HasGlobalHistory, PredictionMetrics,
 };
+pub use ring::{Checkpoints, Ring, CHECKPOINT_CAPACITY};
 pub use sfpf::SquashFilter;
+pub use stack::{build_predictor_stack, PredictorStack};
 pub use tables::{CounterTable, TwoBitCounter};
 pub use tournament::Tournament;

@@ -1,10 +1,9 @@
 //! The two-level local-history predictor (PAg-style).
 
-use std::collections::VecDeque;
-
 use predbranch_sim::PredicateScoreboard;
 
 use crate::predictor::{BranchInfo, BranchPredictor};
+use crate::ring::Checkpoints;
 use crate::tables::CounterTable;
 
 /// A two-level local predictor: a per-branch history table feeding a
@@ -30,7 +29,7 @@ pub struct Local {
     pattern: CounterTable,
     /// Per-in-flight-branch checkpoints: the branch's BHT slot and the
     /// slot's pre-shift local history.
-    checkpoints: VecDeque<(usize, u64)>,
+    checkpoints: Checkpoints<(usize, u64)>,
 }
 
 impl Local {
@@ -53,7 +52,7 @@ impl Local {
             bht_bits,
             history_bits,
             pattern: CounterTable::new(pattern_bits),
-            checkpoints: VecDeque::new(),
+            checkpoints: Checkpoints::new(),
         }
     }
 

@@ -3,12 +3,11 @@
 //! global-history bits, it is a natural consumer of PGU's predicate
 //! bits, rewarding informative predicates and zeroing out diluting ones.
 
-use std::collections::VecDeque;
-
 use predbranch_sim::PredicateScoreboard;
 
 use crate::history::GlobalHistory;
 use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::ring::Checkpoints;
 
 const WEIGHT_MAX: i32 = 127;
 const WEIGHT_MIN: i32 = -128;
@@ -39,7 +38,7 @@ pub struct Perceptron {
     history: GlobalHistory,
     index_bits: u32,
     theta: i32,
-    checkpoints: VecDeque<GlobalHistory>,
+    checkpoints: Checkpoints<GlobalHistory>,
 }
 
 impl Perceptron {
@@ -60,7 +59,7 @@ impl Perceptron {
             history: GlobalHistory::new(history_bits),
             index_bits,
             theta: (1.93 * history_bits as f64 + 14.0) as i32,
-            checkpoints: VecDeque::new(),
+            checkpoints: Checkpoints::new(),
         }
     }
 

@@ -1,10 +1,9 @@
 //! The squash false-path filter (SFPF).
 
-use std::collections::VecDeque;
-
 use predbranch_sim::{PredWriteEvent, PredicateScoreboard};
 
 use crate::predictor::{BranchInfo, BranchPredictor};
+use crate::ring::Checkpoints;
 
 /// The paper's first technique: a fetch-stage filter that recognizes
 /// branches *known to be guarded by a false predicate* and predicts them
@@ -52,7 +51,7 @@ pub struct SquashFilter<P> {
     guard_table: Option<Vec<Option<predbranch_isa::PredReg>>>,
     /// Per-in-flight-branch gate, latched at `speculate`: whether the
     /// inner predictor sees this branch's speculate/commit/squash.
-    inflight: VecDeque<bool>,
+    inflight: Checkpoints<bool>,
 }
 
 impl<P> SquashFilter<P> {
@@ -65,7 +64,7 @@ impl<P> SquashFilter<P> {
             update_filtered: true,
             filtered: 0,
             guard_table: None,
-            inflight: VecDeque::new(),
+            inflight: Checkpoints::new(),
         }
     }
 

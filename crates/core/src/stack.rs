@@ -1,0 +1,541 @@
+//! Static-dispatch predictor stacks.
+//!
+//! [`crate::build_predictor`] returns `Box<dyn BranchPredictor>`, which
+//! costs a virtual call for every `predict`/`speculate`/`commit`/`squash`
+//! on the replay hot path — and for the headline SFPF/PGU compositions
+//! the wrappers make those calls *nested* virtual calls. [`PredictorStack`]
+//! is the static-dispatch alternative: one enum variant per concrete
+//! predictor shape reachable from [`PredictorSpec`], so the single match
+//! at the enum boundary replaces the vtable chain and the compiler can
+//! inline the whole wrapper composition into the harness loop.
+//!
+//! [`build_predictor_stack`] mirrors [`crate::build_predictor`] exactly
+//! — same construction parameters, same PGU fallback and SFPF-over-PGU
+//! rewrite rules — so the two paths are behaviorally identical and
+//! differ only in dispatch. Spec shapes outside the enumerated set
+//! (e.g. hand-built doubly-nested filters) fall back to the
+//! [`PredictorStack::Dyn`] escape hatch, which boxes like the classic
+//! builder.
+
+use std::fmt;
+
+use crate::agree::Agree;
+use crate::bimodal::Bimodal;
+use crate::config::{build_predictor, PredictorSpec};
+use crate::gshare::Gshare;
+use crate::local::Local;
+use crate::oracle::PerfectGuard;
+use crate::perceptron::Perceptron;
+use crate::pgu::Pgu;
+use crate::predictor::{BranchInfo, BranchPredictor, StaticPredictor};
+use crate::sfpf::SquashFilter;
+use crate::tournament::Tournament;
+use predbranch_sim::{PredWriteEvent, PredicateScoreboard};
+
+/// Generates [`PredictorStack`] and its [`BranchPredictor`] delegation
+/// over the full set of concrete predictor shapes: every trait method
+/// becomes one `match` that hands the call to the variant's payload with
+/// static dispatch.
+macro_rules! predictor_stack {
+    ($( $(#[$meta:meta])* $variant:ident($ty:ty) ),+ $(,)?) => {
+        /// A statically-dispatched predictor: one variant per concrete
+        /// predictor shape reachable from a [`PredictorSpec`], plus the
+        /// [`PredictorStack::Dyn`] boxed escape hatch for shapes outside
+        /// that set.
+        ///
+        /// Behaviorally identical to the boxed predictor
+        /// [`crate::build_predictor`] returns for the same spec; only the
+        /// dispatch mechanism differs.
+        ///
+        /// # Examples
+        ///
+        /// ```
+        /// use predbranch_core::{build_predictor_stack, BranchPredictor, PredictorSpec};
+        ///
+        /// let spec = PredictorSpec::Gshare { index_bits: 13, history_bits: 13 }
+        ///     .with_sfpf()
+        ///     .with_pgu(8);
+        /// let p = build_predictor_stack(&spec);
+        /// assert_eq!(p.name(), "sfpf+pgu[d8]+gshare-13/13");
+        /// assert!(p.is_statically_dispatched());
+        /// ```
+        pub enum PredictorStack {
+            $( $(#[$meta])* $variant($ty), )+
+        }
+
+        impl PredictorStack {
+            /// Whether this stack dispatches statically (`false` only for
+            /// the boxed [`PredictorStack::Dyn`] escape hatch).
+            pub fn is_statically_dispatched(&self) -> bool {
+                !matches!(self, PredictorStack::Dyn(_))
+            }
+        }
+
+        impl BranchPredictor for PredictorStack {
+            fn name(&self) -> String {
+                match self { $( PredictorStack::$variant(p) => p.name(), )+ }
+            }
+
+            #[inline]
+            fn predict(&mut self, branch: &BranchInfo, scoreboard: &PredicateScoreboard) -> bool {
+                match self { $( PredictorStack::$variant(p) => p.predict(branch, scoreboard), )+ }
+            }
+
+            #[inline]
+            fn speculate(
+                &mut self,
+                branch: &BranchInfo,
+                predicted: bool,
+                scoreboard: &PredicateScoreboard,
+            ) {
+                match self { $( PredictorStack::$variant(p) => p.speculate(branch, predicted, scoreboard), )+ }
+            }
+
+            #[inline]
+            fn commit(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+                match self { $( PredictorStack::$variant(p) => p.commit(branch, taken, scoreboard), )+ }
+            }
+
+            #[inline]
+            fn squash(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+                match self { $( PredictorStack::$variant(p) => p.squash(branch, taken, scoreboard), )+ }
+            }
+
+            #[inline]
+            fn update(&mut self, branch: &BranchInfo, taken: bool, scoreboard: &PredicateScoreboard) {
+                match self { $( PredictorStack::$variant(p) => p.update(branch, taken, scoreboard), )+ }
+            }
+
+            #[inline]
+            fn on_pred_write(&mut self, write: &PredWriteEvent) {
+                match self { $( PredictorStack::$variant(p) => p.on_pred_write(write), )+ }
+            }
+
+            fn storage_bits(&self) -> usize {
+                match self { $( PredictorStack::$variant(p) => p.storage_bits(), )+ }
+            }
+        }
+    };
+}
+
+predictor_stack! {
+    /// A static (stateless) predictor.
+    Static(StaticPredictor),
+    /// Per-PC 2-bit counters.
+    Bimodal(Bimodal),
+    /// Global-history gshare.
+    Gshare(Gshare),
+    /// Two-level local predictor.
+    Local(Local),
+    /// McFarling tournament.
+    Tournament(Tournament),
+    /// Agree predictor.
+    Agree(Agree),
+    /// Perceptron predictor.
+    Perceptron(Perceptron),
+    /// Perfect-guard oracle.
+    Oracle(PerfectGuard),
+    /// Squash filter over a static predictor.
+    SfpfStatic(SquashFilter<StaticPredictor>),
+    /// Squash filter over bimodal.
+    SfpfBimodal(SquashFilter<Bimodal>),
+    /// Squash filter over gshare — the paper's first headline config.
+    SfpfGshare(SquashFilter<Gshare>),
+    /// Squash filter over the local predictor.
+    SfpfLocal(SquashFilter<Local>),
+    /// Squash filter over the tournament.
+    SfpfTournament(SquashFilter<Tournament>),
+    /// Squash filter over agree.
+    SfpfAgree(SquashFilter<Agree>),
+    /// Squash filter over the perceptron.
+    SfpfPerceptron(SquashFilter<Perceptron>),
+    /// Squash filter over the oracle.
+    SfpfOracle(SquashFilter<PerfectGuard>),
+    /// Predicate global update over gshare.
+    PguGshare(Pgu<Gshare>),
+    /// Predicate global update over the tournament.
+    PguTournament(Pgu<Tournament>),
+    /// Predicate global update over agree.
+    PguAgree(Pgu<Agree>),
+    /// Predicate global update over the perceptron.
+    PguPerceptron(Pgu<Perceptron>),
+    /// Both techniques over gshare — the paper's full headline config.
+    SfpfPguGshare(SquashFilter<Pgu<Gshare>>),
+    /// Both techniques over the tournament.
+    SfpfPguTournament(SquashFilter<Pgu<Tournament>>),
+    /// Both techniques over agree.
+    SfpfPguAgree(SquashFilter<Pgu<Agree>>),
+    /// Both techniques over the perceptron.
+    SfpfPguPerceptron(SquashFilter<Pgu<Perceptron>>),
+    /// Boxed escape hatch for spec shapes outside the enumerated set
+    /// (e.g. doubly-nested filters); dispatches dynamically like
+    /// [`crate::build_predictor`].
+    Dyn(Box<dyn BranchPredictor>),
+}
+
+impl fmt::Debug for PredictorStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PredictorStack({})", self.name())
+    }
+}
+
+/// Applies the SFPF policy knobs from a spec to a freshly built filter.
+fn configure_filter<P>(
+    filter: SquashFilter<P>,
+    known_true: bool,
+    update_filtered: bool,
+    learned_guards: Option<u32>,
+) -> SquashFilter<P> {
+    let filter = filter
+        .with_known_true(known_true)
+        .with_update_filtered(update_filtered);
+    match learned_guards {
+        Some(bits) => filter.with_learned_guards(bits),
+        None => filter,
+    }
+}
+
+/// Builds a statically-dispatched predictor from a spec — the hot-path
+/// counterpart of [`crate::build_predictor`].
+///
+/// Mirrors the boxed builder's composition rules exactly: PGU requires a
+/// global-history base and degrades to the plain base otherwise, and
+/// `sfpf(pgu(base))` keeps the filter in front of PGU. Shapes outside
+/// the enumerated variants fall back to [`PredictorStack::Dyn`].
+pub fn build_predictor_stack(spec: &PredictorSpec) -> PredictorStack {
+    match spec {
+        PredictorSpec::StaticNotTaken => PredictorStack::Static(StaticPredictor::NotTaken),
+        PredictorSpec::StaticBtfn => PredictorStack::Static(StaticPredictor::Btfn),
+        PredictorSpec::Bimodal { index_bits } => PredictorStack::Bimodal(Bimodal::new(*index_bits)),
+        PredictorSpec::Gshare {
+            index_bits,
+            history_bits,
+        } => PredictorStack::Gshare(Gshare::new(*index_bits, *history_bits)),
+        PredictorSpec::Local {
+            bht_bits,
+            history_bits,
+            pattern_bits,
+        } => PredictorStack::Local(Local::new(*bht_bits, *history_bits, *pattern_bits)),
+        PredictorSpec::Tournament {
+            gshare_bits,
+            history_bits,
+            bimodal_bits,
+            chooser_bits,
+        } => PredictorStack::Tournament(Tournament::new(
+            *gshare_bits,
+            *history_bits,
+            *bimodal_bits,
+            *chooser_bits,
+        )),
+        PredictorSpec::Agree {
+            index_bits,
+            history_bits,
+        } => PredictorStack::Agree(Agree::new(*index_bits, *history_bits)),
+        PredictorSpec::Perceptron {
+            index_bits,
+            history_bits,
+        } => PredictorStack::Perceptron(Perceptron::new(*index_bits, *history_bits)),
+        PredictorSpec::OracleGuard => PredictorStack::Oracle(PerfectGuard::new()),
+        PredictorSpec::Sfpf {
+            base,
+            known_true,
+            update_filtered,
+            learned_guards,
+        } => build_sfpf_stack(base, *known_true, *update_filtered, *learned_guards)
+            .unwrap_or_else(|| PredictorStack::Dyn(build_predictor(spec))),
+        PredictorSpec::Pgu { base, delay } => match &**base {
+            PredictorSpec::Gshare {
+                index_bits,
+                history_bits,
+            } => PredictorStack::PguGshare(
+                Pgu::new(Gshare::new(*index_bits, *history_bits)).with_delay(*delay),
+            ),
+            PredictorSpec::Tournament {
+                gshare_bits,
+                history_bits,
+                bimodal_bits,
+                chooser_bits,
+            } => PredictorStack::PguTournament(
+                Pgu::new(Tournament::new(
+                    *gshare_bits,
+                    *history_bits,
+                    *bimodal_bits,
+                    *chooser_bits,
+                ))
+                .with_delay(*delay),
+            ),
+            PredictorSpec::Agree {
+                index_bits,
+                history_bits,
+            } => PredictorStack::PguAgree(
+                Pgu::new(Agree::new(*index_bits, *history_bits)).with_delay(*delay),
+            ),
+            PredictorSpec::Perceptron {
+                index_bits,
+                history_bits,
+            } => PredictorStack::PguPerceptron(
+                Pgu::new(Perceptron::new(*index_bits, *history_bits)).with_delay(*delay),
+            ),
+            PredictorSpec::Sfpf {
+                base: inner,
+                known_true,
+                update_filtered,
+                learned_guards,
+            } => {
+                // sfpf(pgu(base)): the filter sits in front of PGU, same
+                // rewrite as the boxed builder
+                let pgu = PredictorSpec::Pgu {
+                    base: inner.clone(),
+                    delay: *delay,
+                };
+                build_predictor_stack(&PredictorSpec::Sfpf {
+                    base: Box::new(pgu),
+                    known_true: *known_true,
+                    update_filtered: *update_filtered,
+                    learned_guards: *learned_guards,
+                })
+            }
+            other => build_predictor_stack(other),
+        },
+    }
+}
+
+/// SFPF over a base spec, as an enumerated variant when the base shape
+/// allows it (`None` → caller falls back to the boxed escape hatch).
+fn build_sfpf_stack(
+    base: &PredictorSpec,
+    known_true: bool,
+    update_filtered: bool,
+    learned_guards: Option<u32>,
+) -> Option<PredictorStack> {
+    macro_rules! wrap {
+        ($variant:ident, $inner:expr) => {
+            Some(PredictorStack::$variant(configure_filter(
+                SquashFilter::new($inner),
+                known_true,
+                update_filtered,
+                learned_guards,
+            )))
+        };
+    }
+    match base {
+        PredictorSpec::StaticNotTaken => wrap!(SfpfStatic, StaticPredictor::NotTaken),
+        PredictorSpec::StaticBtfn => wrap!(SfpfStatic, StaticPredictor::Btfn),
+        PredictorSpec::Bimodal { index_bits } => wrap!(SfpfBimodal, Bimodal::new(*index_bits)),
+        PredictorSpec::Gshare {
+            index_bits,
+            history_bits,
+        } => wrap!(SfpfGshare, Gshare::new(*index_bits, *history_bits)),
+        PredictorSpec::Local {
+            bht_bits,
+            history_bits,
+            pattern_bits,
+        } => wrap!(
+            SfpfLocal,
+            Local::new(*bht_bits, *history_bits, *pattern_bits)
+        ),
+        PredictorSpec::Tournament {
+            gshare_bits,
+            history_bits,
+            bimodal_bits,
+            chooser_bits,
+        } => wrap!(
+            SfpfTournament,
+            Tournament::new(*gshare_bits, *history_bits, *bimodal_bits, *chooser_bits)
+        ),
+        PredictorSpec::Agree {
+            index_bits,
+            history_bits,
+        } => wrap!(SfpfAgree, Agree::new(*index_bits, *history_bits)),
+        PredictorSpec::Perceptron {
+            index_bits,
+            history_bits,
+        } => wrap!(SfpfPerceptron, Perceptron::new(*index_bits, *history_bits)),
+        PredictorSpec::OracleGuard => wrap!(SfpfOracle, PerfectGuard::new()),
+        PredictorSpec::Pgu { base: pbase, delay } => match &**pbase {
+            PredictorSpec::Gshare {
+                index_bits,
+                history_bits,
+            } => wrap!(
+                SfpfPguGshare,
+                Pgu::new(Gshare::new(*index_bits, *history_bits)).with_delay(*delay)
+            ),
+            PredictorSpec::Tournament {
+                gshare_bits,
+                history_bits,
+                bimodal_bits,
+                chooser_bits,
+            } => wrap!(
+                SfpfPguTournament,
+                Pgu::new(Tournament::new(
+                    *gshare_bits,
+                    *history_bits,
+                    *bimodal_bits,
+                    *chooser_bits,
+                ))
+                .with_delay(*delay)
+            ),
+            PredictorSpec::Agree {
+                index_bits,
+                history_bits,
+            } => wrap!(
+                SfpfPguAgree,
+                Pgu::new(Agree::new(*index_bits, *history_bits)).with_delay(*delay)
+            ),
+            PredictorSpec::Perceptron {
+                index_bits,
+                history_bits,
+            } => wrap!(
+                SfpfPguPerceptron,
+                Pgu::new(Perceptron::new(*index_bits, *history_bits)).with_delay(*delay)
+            ),
+            // PGU on a history-less base degrades to the plain base, so
+            // the filter wraps that base directly (same as the boxed
+            // builder's fallback); nested filters leave the enumerated
+            // set.
+            PredictorSpec::Sfpf { .. } => None,
+            other => build_sfpf_stack(other, known_true, update_filtered, learned_guards),
+        },
+        PredictorSpec::Sfpf { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_shapes() -> Vec<PredictorSpec> {
+        let gshare = PredictorSpec::Gshare {
+            index_bits: 10,
+            history_bits: 10,
+        };
+        let tournament = PredictorSpec::Tournament {
+            gshare_bits: 10,
+            history_bits: 10,
+            bimodal_bits: 10,
+            chooser_bits: 10,
+        };
+        let agree = PredictorSpec::Agree {
+            index_bits: 10,
+            history_bits: 10,
+        };
+        let perceptron = PredictorSpec::Perceptron {
+            index_bits: 8,
+            history_bits: 12,
+        };
+        let bases = [
+            PredictorSpec::StaticNotTaken,
+            PredictorSpec::StaticBtfn,
+            PredictorSpec::Bimodal { index_bits: 10 },
+            gshare.clone(),
+            PredictorSpec::Local {
+                bht_bits: 10,
+                history_bits: 10,
+                pattern_bits: 12,
+            },
+            tournament.clone(),
+            agree.clone(),
+            perceptron.clone(),
+            PredictorSpec::OracleGuard,
+        ];
+        let mut specs: Vec<PredictorSpec> = bases.to_vec();
+        specs.extend(bases.iter().cloned().map(PredictorSpec::with_sfpf));
+        for base in [&gshare, &tournament, &agree, &perceptron] {
+            specs.push(base.clone().with_pgu(8));
+            specs.push(base.clone().with_pgu(8).with_sfpf());
+        }
+        specs
+    }
+
+    #[test]
+    fn every_spec_shape_is_statically_dispatched() {
+        for spec in all_shapes() {
+            let stack = build_predictor_stack(&spec);
+            assert!(
+                stack.is_statically_dispatched(),
+                "{spec:?} fell back to dyn"
+            );
+        }
+    }
+
+    #[test]
+    fn stack_name_matches_boxed_builder() {
+        for spec in all_shapes() {
+            assert_eq!(
+                build_predictor_stack(&spec).name(),
+                build_predictor(&spec).name(),
+                "{spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pgu_fallback_matches_boxed_builder() {
+        // PGU over a history-less base degrades to the plain base
+        let spec = PredictorSpec::Bimodal { index_bits: 8 }.with_pgu(4);
+        let stack = build_predictor_stack(&spec);
+        assert_eq!(stack.name(), "bimodal-8");
+        assert!(stack.is_statically_dispatched());
+        // ... including under a filter
+        let spec = PredictorSpec::Bimodal { index_bits: 8 }
+            .with_pgu(4)
+            .with_sfpf();
+        let stack = build_predictor_stack(&spec);
+        assert_eq!(stack.name(), build_predictor(&spec).name());
+        assert!(stack.is_statically_dispatched());
+    }
+
+    #[test]
+    fn nested_filters_use_the_escape_hatch() {
+        let spec = PredictorSpec::Gshare {
+            index_bits: 8,
+            history_bits: 8,
+        }
+        .with_sfpf()
+        .with_sfpf();
+        let stack = build_predictor_stack(&spec);
+        assert!(!stack.is_statically_dispatched());
+        assert_eq!(stack.name(), build_predictor(&spec).name());
+    }
+
+    #[test]
+    fn stack_behaves_like_boxed_predictor() {
+        use crate::harness::{HarnessConfig, PredictionHarness, Timing};
+        use crate::InsertFilter;
+        use predbranch_isa::assemble;
+        use predbranch_sim::{Executor, Memory};
+
+        let program = assemble(
+            r#"
+                mov r1 = 0
+            loop:
+                cmp.lt p1, p2 = r1, 80
+                (p1) add r1 = r1, 1
+                nop
+                nop
+                (p1) br.region 0, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        for spec in all_shapes() {
+            let config = HarnessConfig {
+                timing: Timing::new(4, 8),
+                insert: InsertFilter::All,
+            };
+            let mut boxed = PredictionHarness::new(build_predictor(&spec), config.clone());
+            Executor::new(&program, Memory::new()).run(&mut boxed, 100_000);
+            let mut stack = PredictionHarness::new(build_predictor_stack(&spec), config);
+            Executor::new(&program, Memory::new()).run(&mut stack, 100_000);
+            let (_, boxed_metrics) = boxed.into_parts();
+            let (_, stack_metrics) = stack.into_parts();
+            assert_eq!(boxed_metrics, stack_metrics, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn debug_shows_name() {
+        let stack = build_predictor_stack(&PredictorSpec::StaticNotTaken);
+        assert_eq!(format!("{stack:?}"), "PredictorStack(static-nt)");
+    }
+}

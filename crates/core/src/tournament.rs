@@ -1,13 +1,12 @@
 //! The McFarling tournament (combining) predictor.
 
-use std::collections::VecDeque;
-
 use predbranch_sim::PredicateScoreboard;
 
 use crate::bimodal::Bimodal;
 use crate::gshare::Gshare;
 use crate::history::GlobalHistory;
 use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::ring::Checkpoints;
 use crate::tables::CounterTable;
 
 /// A tournament predictor: gshare and bimodal components with a per-PC
@@ -33,7 +32,7 @@ pub struct Tournament {
     chooser: CounterTable,
     /// Per-in-flight-branch fetch-time component predictions `(g, b)`,
     /// needed at commit to train the chooser on disagreement.
-    checkpoints: VecDeque<(bool, bool)>,
+    checkpoints: Checkpoints<(bool, bool)>,
 }
 
 impl Tournament {
@@ -50,7 +49,7 @@ impl Tournament {
             gshare: Gshare::new(gshare_bits, history_bits),
             bimodal: Bimodal::new(bimodal_bits),
             chooser: CounterTable::new(chooser_bits),
-            checkpoints: VecDeque::new(),
+            checkpoints: Checkpoints::new(),
         }
     }
 }

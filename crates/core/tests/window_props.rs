@@ -6,12 +6,13 @@
 //! mispredicted branches, immediately before their commit.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use proptest::prelude::*;
 
 use predbranch_core::{
-    BranchInfo, BranchPredictor, HarnessConfig, InsertFilter, PredictionHarness, Timing,
+    BranchInfo, BranchPredictor, HarnessConfig, InsertFilter, PredictionHarness, Ring, Timing,
 };
 use predbranch_isa::PredReg;
 use predbranch_sim::{BranchEvent, EventSink, PredWriteEvent, PredicateScoreboard};
@@ -139,7 +140,68 @@ fn drive(events: &[Ev], timing: Timing) -> (Vec<Call>, Vec<u64>, Vec<u64>) {
     (calls, branches, mispredicted)
 }
 
+/// One operation against both the ring under test and the `VecDeque`
+/// reference model.
+#[derive(Debug, Clone, Copy)]
+enum RingOp {
+    Push(u16),
+    Pop,
+    Front,
+    Clear,
+}
+
+fn arb_ring_op() -> impl Strategy<Value = RingOp> {
+    prop_oneof![
+        // push-heavy so runs actually fill the ring and wrap the head
+        4 => any::<u16>().prop_map(RingOp::Push),
+        3 => Just(RingOp::Pop),
+        1 => Just(RingOp::Front),
+        1 => Just(RingOp::Clear),
+    ]
+}
+
+/// Drives one op sequence through a `Ring<u16, CAP>` and a `VecDeque`
+/// side by side, checking every observable after every step. Pushes
+/// that would overflow the ring (a contract violation for callers, and
+/// a panic) are skipped on both sides so the models stay aligned.
+fn check_ring_against_vecdeque<const CAP: usize>(ops: &[RingOp]) {
+    let mut ring: Ring<u16, CAP> = Ring::new();
+    let mut model: VecDeque<u16> = VecDeque::new();
+    for &op in ops {
+        match op {
+            RingOp::Push(v) => {
+                if model.len() < CAP {
+                    ring.push_back(v);
+                    model.push_back(v);
+                }
+            }
+            RingOp::Pop => prop_assert_eq!(ring.pop_front(), model.pop_front()),
+            RingOp::Front => prop_assert_eq!(ring.front(), model.front()),
+            RingOp::Clear => {
+                ring.clear();
+                model.clear();
+            }
+        }
+        prop_assert_eq!(ring.len(), model.len());
+        prop_assert_eq!(ring.is_empty(), model.is_empty());
+        prop_assert!(ring.iter().eq(model.iter()), "logical contents diverged");
+    }
+}
+
 proptest! {
+    /// The ring must be observationally indistinguishable from the
+    /// `VecDeque` subset it replaced in the window and checkpoint
+    /// FIFOs — at a small capacity (to exercise wrap-around and the
+    /// full/empty boundary many times per run) and at the window's
+    /// real capacity.
+    #[test]
+    fn ring_matches_vecdeque_reference(
+        ops in prop::collection::vec(arb_ring_op(), 0..400),
+    ) {
+        check_ring_against_vecdeque::<4>(&ops);
+        check_ring_against_vecdeque::<64>(&ops);
+    }
+
     /// The window's core contract, for any interleaving and any retire
     /// latency: commit order equals fetch order, one commit per
     /// speculate, and squash exactly for mispredicted branches,

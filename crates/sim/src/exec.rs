@@ -4,7 +4,13 @@ use predbranch_isa::{apply_cmp_type, Gpr, Inst, Op, Program, Src};
 
 use crate::memory::Memory;
 use crate::state::ArchState;
-use crate::trace::{BranchEvent, EventSink, PredWriteEvent};
+use crate::trace::{BranchEvent, Event, EventSink, PredWriteEvent};
+
+/// Number of events a batched producer accumulates before flushing them
+/// to the sink in one [`EventSink::events`] call. Large enough to
+/// amortize per-batch dispatch to nothing, small enough that the buffer
+/// (at 48 bytes per event) stays comfortably inside L1/L2.
+pub const EVENT_BATCH_CAPACITY: usize = 1024;
 
 /// Summary of one [`Executor::run`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -211,6 +217,53 @@ impl<'a> Executor<'a> {
             if !self.step(sink, &mut summary) {
                 break;
             }
+        }
+        summary.halted = self.state.is_halted();
+        summary
+    }
+
+    /// Runs like [`Executor::run`] but accumulates events into `buffer`
+    /// (a reusable scratch vector — contents are overwritten) and
+    /// delivers them to `sink` in [`EVENT_BATCH_CAPACITY`]-sized chunks
+    /// via [`EventSink::events`], so a dynamically-dispatched sink pays
+    /// one virtual call per chunk instead of one per event.
+    ///
+    /// Events arrive in the same order with the same payloads as under
+    /// [`Executor::run`]; the only observable difference is that
+    /// per-instruction [`EventSink::instruction`] callbacks are *not*
+    /// forwarded (instructions are not [`Event`]s). Use [`Executor::run`]
+    /// for sinks that account fetch slots (e.g. a harness with a
+    /// timeline attached).
+    pub fn run_batched(
+        &mut self,
+        sink: &mut impl EventSink,
+        max_instructions: u64,
+        buffer: &mut Vec<Event>,
+    ) -> RunSummary {
+        /// Adapter collecting step events into the batch buffer.
+        struct Collector<'b>(&'b mut Vec<Event>);
+        impl EventSink for Collector<'_> {
+            fn branch(&mut self, event: &BranchEvent) {
+                self.0.push(Event::Branch(*event));
+            }
+            fn pred_write(&mut self, event: &PredWriteEvent) {
+                self.0.push(Event::PredWrite(*event));
+            }
+        }
+
+        buffer.clear();
+        let mut summary = RunSummary::default();
+        let mut running = true;
+        while running {
+            while running
+                && summary.instructions < max_instructions
+                && buffer.len() < EVENT_BATCH_CAPACITY
+            {
+                running = self.step(&mut Collector(buffer), &mut summary);
+            }
+            sink.events(buffer);
+            buffer.clear();
+            running = running && summary.instructions < max_instructions;
         }
         summary.halted = self.state.is_halted();
         summary
@@ -433,6 +486,39 @@ mod tests {
             .collect();
         // cmp at index 0 (two writes), branch at index 1
         assert_eq!(idxs, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn run_batched_matches_run_event_for_event() {
+        let src = r#"
+            mov r1 = 0
+        loop:
+            cmp.lt p1, p2 = r1, 2000
+            (p1) add r1 = r1, 1
+            (p1) br.region 0, loop
+            halt
+        "#;
+        let program = assemble(src).unwrap();
+        let mut streamed = TraceSink::new();
+        let streamed_summary = Executor::new(&program, Memory::new()).run(&mut streamed, 100_000);
+        let mut batched = TraceSink::new();
+        let mut buffer = Vec::new();
+        let batched_summary =
+            Executor::new(&program, Memory::new()).run_batched(&mut batched, 100_000, &mut buffer);
+        assert_eq!(streamed_summary, batched_summary);
+        assert_eq!(streamed.events(), batched.events());
+        // enough events to exercise multiple flushes
+        assert!(streamed.events().len() > super::EVENT_BATCH_CAPACITY);
+    }
+
+    #[test]
+    fn run_batched_respects_instruction_budget() {
+        let program = assemble("loop: br loop\n halt").unwrap();
+        let mut exec = Executor::new(&program, Memory::new());
+        let mut buffer = Vec::new();
+        let summary = exec.run_batched(&mut NullSink, 500, &mut buffer);
+        assert!(!summary.halted);
+        assert_eq!(summary.instructions, 500);
     }
 
     #[test]

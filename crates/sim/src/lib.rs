@@ -56,7 +56,7 @@ mod scoreboard;
 mod state;
 mod trace;
 
-pub use exec::{Executor, RunSummary};
+pub use exec::{Executor, RunSummary, EVENT_BATCH_CAPACITY};
 pub use memory::Memory;
 pub use metrics::{ExecMetrics, GuardKnowledgeStats, RegionActivity};
 pub use pipeline::{

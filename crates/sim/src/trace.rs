@@ -106,6 +106,20 @@ pub trait EventSink {
             Event::PredWrite(p) => self.pred_write(p),
         }
     }
+
+    /// Delivers a batch of already-materialized events, in order.
+    ///
+    /// Semantically identical to calling [`EventSink::event`] on each
+    /// element (which is exactly what the default does); batch-decoding
+    /// producers ([`crate::Executor::run_batched`], trace replay) use
+    /// this so the per-event virtual dispatch of a `&mut dyn EventSink`
+    /// is paid once per chunk instead of once per event. Implementations
+    /// overriding this must preserve the element-wise semantics.
+    fn events(&mut self, events: &[Event]) {
+        for event in events {
+            self.event(event);
+        }
+    }
 }
 
 /// A sink that discards all events.
@@ -168,6 +182,10 @@ impl EventSink for TraceSink {
     fn pred_write(&mut self, event: &PredWriteEvent) {
         self.events.push(Event::PredWrite(*event));
     }
+
+    fn events(&mut self, events: &[Event]) {
+        self.events.extend_from_slice(events);
+    }
 }
 
 /// Sinks compose as tuples: `(a, b)` forwards every event to both.
@@ -191,6 +209,11 @@ impl<A: EventSink, B: EventSink> EventSink for (A, B) {
         self.0.event(event);
         self.1.event(event);
     }
+
+    fn events(&mut self, events: &[Event]) {
+        self.0.events(events);
+        self.1.events(events);
+    }
 }
 
 impl<S: EventSink + ?Sized> EventSink for &mut S {
@@ -208,6 +231,10 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
 
     fn event(&mut self, event: &Event) {
         (**self).event(event);
+    }
+
+    fn events(&mut self, events: &[Event]) {
+        (**self).events(events);
     }
 }
 
@@ -282,5 +309,37 @@ mod tests {
         let mut n = NullSink;
         n.branch(&branch(0));
         n.pred_write(&write(1));
+    }
+
+    #[test]
+    fn batched_delivery_matches_per_event() {
+        let batch = [
+            Event::PredWrite(write(0)),
+            Event::Branch(branch(1)),
+            Event::PredWrite(write(2)),
+        ];
+        // default implementation (per-event loop) through a sink that
+        // only implements the required methods
+        struct Plain(TraceSink);
+        impl EventSink for Plain {
+            fn branch(&mut self, event: &BranchEvent) {
+                self.0.branch(event);
+            }
+            fn pred_write(&mut self, event: &PredWriteEvent) {
+                self.0.pred_write(event);
+            }
+        }
+        let mut plain = Plain(TraceSink::new());
+        plain.events(&batch);
+        // overridden implementations
+        let mut fast = TraceSink::new();
+        EventSink::events(&mut fast, &batch);
+        let mut pair = (TraceSink::new(), TraceSink::new());
+        pair.events(&batch);
+        let mut via_ref = TraceSink::new();
+        (&mut via_ref as &mut dyn EventSink).events(&batch);
+        for sink in [&plain.0, &fast, &pair.0, &pair.1, &via_ref] {
+            assert_eq!(sink.events(), &batch);
+        }
     }
 }

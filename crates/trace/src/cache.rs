@@ -8,14 +8,25 @@
 //! can never be replayed for the wrong run. Writes go to a temporary
 //! file in the cache directory and are published with an atomic rename —
 //! concurrent runs may duplicate work but never observe a partial trace.
+//!
+//! On top of the on-disk layer sits a small in-process **decoded-event
+//! memo**: the first replay of a trace decodes and verifies the file
+//! once, and every further replay of the same trace (the common case —
+//! a sweep runs many predictor configs per recorded run) is served
+//! straight from memory in [`EVENT_BATCH_CAPACITY`]-sized batches,
+//! skipping file open, decode, and checksum entirely. The memo is
+//! shared by clones of a [`TraceCache`] (so every worker lane of a
+//! sweep hits it) and holds at most [`DECODED_MEMO_CAPACITY`] streams,
+//! evicting the oldest.
 
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use predbranch_isa::Program;
-use predbranch_sim::{EventSink, Executor, Memory, RunSummary};
+use predbranch_sim::{Event, EventSink, Executor, Memory, RunSummary, EVENT_BATCH_CAPACITY};
 
 use crate::error::TraceError;
 use crate::format::{memory_fingerprint, program_hash, Fnv64, TraceHeader};
@@ -102,6 +113,21 @@ impl CacheKey {
 #[derive(Debug, Clone)]
 pub struct TraceCache {
     dir: PathBuf,
+    memo: Arc<Mutex<Vec<MemoEntry>>>,
+}
+
+/// Decoded event streams the memo keeps in memory at once. Each entry
+/// holds one trace's full event vector (a few MB for suite-sized runs),
+/// so this bounds the memo to tens of MB worst case.
+pub const DECODED_MEMO_CAPACITY: usize = 8;
+
+/// One fully decoded, checksum-verified trace held in memory.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    path: PathBuf,
+    program_hash: u64,
+    summary: RunSummary,
+    events: Arc<[Event]>,
 }
 
 /// One sealed trace found by [`TraceCache::scan`].
@@ -122,7 +148,10 @@ impl TraceCache {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(TraceCache { dir })
+        Ok(TraceCache {
+            dir,
+            memo: Arc::new(Mutex::new(Vec::new())),
+        })
     }
 
     /// The cache directory.
@@ -146,6 +175,14 @@ impl TraceCache {
     /// once while recording it. Returns the run summary and whether it
     /// was a cache hit.
     ///
+    /// Replays deliver events in [`EVENT_BATCH_CAPACITY`]-sized batches
+    /// through [`EventSink::events`]. The first replay of a trace
+    /// decodes and verifies the file once and memoizes the stream;
+    /// repeat replays (every further predictor config over the same
+    /// recorded run) are served from memory without touching the file.
+    /// A sink only ever sees events from a stream that verified in
+    /// full.
+    ///
     /// A present-but-stale or corrupt file (version bump, interrupted
     /// writer from a crashed process, hash mismatch) is treated as a
     /// miss and atomically re-recorded.
@@ -159,8 +196,14 @@ impl TraceCache {
     ) -> Result<(RunSummary, bool), TraceError> {
         let path = self.path(key);
         let expected_hash = program_hash(program);
+        if let Some(entry) = self.memo_lookup(&path, expected_hash) {
+            for chunk in entry.events.chunks(EVENT_BATCH_CAPACITY) {
+                sink.events(chunk);
+            }
+            return Ok((entry.summary, true));
+        }
         if path.exists() {
-            match Self::try_replay(&path, expected_hash, sink) {
+            match self.try_replay(&path, expected_hash, sink) {
                 Ok(summary) => return Ok((summary, true)),
                 Err(TraceError::Io(e)) => return Err(TraceError::Io(e)),
                 Err(_stale) => {} // fall through and re-record
@@ -171,7 +214,11 @@ impl TraceCache {
         Ok((summary, false))
     }
 
+    /// Decodes `path` fully (so corrupt traces deliver *nothing* before
+    /// the fall-through re-records them), feeds the verified stream to
+    /// `sink` in batches, and memoizes it for repeat replays.
     fn try_replay<S: EventSink>(
+        &self,
         path: &Path,
         expected_hash: u64,
         sink: &mut S,
@@ -184,7 +231,46 @@ impl TraceCache {
                 expected: expected_hash,
             });
         }
-        Ok(reader.replay(sink)?.summary)
+        let (events, stats) = reader.read_events()?;
+        let events: Arc<[Event]> = events.into();
+        for chunk in events.chunks(EVENT_BATCH_CAPACITY) {
+            sink.events(chunk);
+        }
+        self.memo_insert(MemoEntry {
+            path: path.to_path_buf(),
+            program_hash: expected_hash,
+            summary: stats.summary,
+            events,
+        });
+        Ok(stats.summary)
+    }
+
+    /// A memoized stream for `path`, dropping the entry if it was
+    /// decoded for a different program (then the file path is consulted
+    /// again, which re-records on mismatch).
+    fn memo_lookup(&self, path: &Path, expected_hash: u64) -> Option<MemoEntry> {
+        let mut memo = self
+            .memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let pos = memo.iter().position(|e| e.path == path)?;
+        if memo[pos].program_hash != expected_hash {
+            memo.remove(pos);
+            return None;
+        }
+        Some(memo[pos].clone())
+    }
+
+    fn memo_insert(&self, entry: MemoEntry) {
+        let mut memo = self
+            .memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        memo.retain(|e| e.path != entry.path);
+        if memo.len() >= DECODED_MEMO_CAPACITY {
+            memo.remove(0); // evict the oldest
+        }
+        memo.push(entry);
     }
 
     /// Every sealed entry in the cache directory, sorted by file name
@@ -361,6 +447,80 @@ mod tests {
     fn labels_are_sanitized_for_filenames() {
         let key = CacheKey::new("a/b c!", 7);
         assert_eq!(key.file_name(), "a_b_c_-0000000000000007.pbt");
+    }
+
+    #[test]
+    fn memo_serves_repeat_replays_without_the_file() {
+        let dir = tmp_dir("memo");
+        let cache = TraceCache::open(&dir).unwrap();
+        let program = toy_program();
+        let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
+        cache
+            .replay_or_record(
+                &key,
+                &program,
+                Memory::new(),
+                1_000,
+                &mut predbranch_sim::NullSink,
+            )
+            .unwrap();
+
+        // first replay decodes the file and memoizes the stream
+        let mut first = TraceSink::new();
+        let (s1, hit1) = cache
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut first)
+            .unwrap();
+        assert!(hit1);
+
+        // delete the sealed file: a further replay must be served from
+        // the memo — identical events, no disk access, still a hit.
+        // A clone shares the memo, as sweep worker lanes do.
+        fs::remove_file(cache.path(&key)).unwrap();
+        let clone = cache.clone();
+        let mut second = TraceSink::new();
+        let (s2, hit2) = clone
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut second)
+            .unwrap();
+        assert!(hit2, "memoized stream must count as a replay hit");
+        assert_eq!(s1, s2);
+        assert_eq!(first.events(), second.events());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_is_bounded_and_evicts_oldest() {
+        let dir = tmp_dir("evict");
+        let cache = TraceCache::open(&dir).unwrap();
+        let program = toy_program();
+        // record + replay more distinct keys than the memo holds
+        let keys: Vec<CacheKey> = (0..DECODED_MEMO_CAPACITY as u64 + 3)
+            .map(|budget_extra| {
+                CacheKey::for_run("toy", &program, &Memory::new(), 1_000 + budget_extra)
+            })
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            let budget = 1_000 + i as u64;
+            for _ in 0..2 {
+                cache
+                    .replay_or_record(
+                        key,
+                        &program,
+                        Memory::new(),
+                        budget,
+                        &mut predbranch_sim::NullSink,
+                    )
+                    .unwrap();
+            }
+        }
+        let memo = cache.memo.lock().unwrap();
+        assert_eq!(memo.len(), DECODED_MEMO_CAPACITY);
+        // the oldest entries were evicted, the newest survive
+        let newest = cache.path(keys.last().unwrap());
+        assert!(memo.iter().any(|e| e.path == newest));
+        let oldest = cache.path(&keys[0]);
+        assert!(!memo.iter().any(|e| e.path == oldest));
+        drop(memo);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

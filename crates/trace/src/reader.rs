@@ -4,7 +4,7 @@ use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::Path;
 
-use predbranch_sim::{Event, EventSink, NullSink, RunSummary, TraceSink};
+use predbranch_sim::{Event, EventSink, NullSink, RunSummary, TraceSink, EVENT_BATCH_CAPACITY};
 
 use crate::error::TraceError;
 use crate::format::{event_index, read_event, read_summary, HashingReader, TraceHeader, TAG_END};
@@ -87,11 +87,39 @@ impl<R: Read> TraceReader<R> {
     /// Replays every branch / predicate-write event into `sink`,
     /// verifying checksum and event count along the way.
     ///
+    /// Events are decoded into an internal batch buffer and delivered in
+    /// [`EVENT_BATCH_CAPACITY`]-sized chunks through
+    /// [`EventSink::events`] — same order, same payloads as per-event
+    /// delivery, but a dynamically-dispatched sink pays one virtual call
+    /// per chunk. Use [`TraceReader::replay_batched`] to supply a
+    /// reusable buffer when replaying many traces.
+    ///
     /// `sink.instruction` is *not* called — see
     /// [`TraceReader::replay_with_instructions`] for sinks that count
     /// fetch slots.
     pub fn replay<S: EventSink>(self, sink: &mut S) -> Result<ReplayStats, TraceError> {
-        self.replay_impl(sink, false)
+        let mut buffer = Vec::with_capacity(EVENT_BATCH_CAPACITY);
+        self.replay_impl(sink, Delivery::Batched, &mut buffer)
+    }
+
+    /// Like [`TraceReader::replay`], but decodes into the caller's
+    /// scratch `buffer` (contents overwritten), so a replay loop over
+    /// many traces reuses one allocation for all of them.
+    pub fn replay_batched<S: EventSink>(
+        self,
+        sink: &mut S,
+        buffer: &mut Vec<Event>,
+    ) -> Result<ReplayStats, TraceError> {
+        self.replay_impl(sink, Delivery::Batched, buffer)
+    }
+
+    /// Like [`TraceReader::replay`], but delivers one
+    /// [`EventSink::event`] call per decoded event instead of batching —
+    /// the pre-batching pipeline shape, kept as the A/B baseline for
+    /// throughput comparisons (`experiments bench`). Event order and
+    /// payloads are identical to the batched path.
+    pub fn replay_per_event<S: EventSink>(self, sink: &mut S) -> Result<ReplayStats, TraceError> {
+        self.replay_impl(sink, Delivery::PerEvent, &mut Vec::new())
     }
 
     /// Like [`TraceReader::replay`], but synthesizes one
@@ -104,7 +132,9 @@ impl<R: Read> TraceReader<R> {
         self,
         sink: &mut S,
     ) -> Result<ReplayStats, TraceError> {
-        self.replay_impl(sink, true)
+        // Instruction synthesis interleaves `instruction` callbacks with
+        // the events, so this path stays per-event by construction.
+        self.replay_impl(sink, Delivery::PerEventWithInstructions, &mut Vec::new())
     }
 
     /// Fully checks the trace (structure, event count, checksum) without
@@ -123,13 +153,15 @@ impl<R: Read> TraceReader<R> {
     fn replay_impl<S: EventSink>(
         mut self,
         sink: &mut S,
-        instructions: bool,
+        delivery: Delivery,
+        buffer: &mut Vec<Event>,
     ) -> Result<ReplayStats, TraceError> {
         let mut prev_index = 0u64;
         let mut next_instruction = 0u64;
         let mut events = 0u64;
         let mut branches = 0u64;
         let mut pred_writes = 0u64;
+        buffer.clear();
         loop {
             let mut tag = [0u8; 1];
             self.input.read_exact(&mut tag).map_err(TraceError::from)?;
@@ -139,22 +171,45 @@ impl<R: Read> TraceReader<R> {
             let event = read_event(&mut self.input, tag[0], prev_index)?;
             prev_index = event_index(&event);
             events += 1;
-            match &event {
-                Event::Branch(b) => {
-                    branches += 1;
-                    if instructions {
-                        synthesize(sink, &mut next_instruction, b.index, b.pc);
+            match delivery {
+                Delivery::PerEventWithInstructions => {
+                    // synthesis interleaves instruction callbacks: per-event
+                    match &event {
+                        Event::Branch(b) => {
+                            branches += 1;
+                            synthesize(sink, &mut next_instruction, b.index, b.pc);
+                            sink.branch(b);
+                        }
+                        Event::PredWrite(p) => {
+                            pred_writes += 1;
+                            synthesize(sink, &mut next_instruction, p.index, p.pc);
+                            sink.pred_write(p);
+                        }
                     }
-                    sink.branch(b);
                 }
-                Event::PredWrite(p) => {
-                    pred_writes += 1;
-                    if instructions {
-                        synthesize(sink, &mut next_instruction, p.index, p.pc);
+                Delivery::PerEvent => {
+                    match &event {
+                        Event::Branch(_) => branches += 1,
+                        Event::PredWrite(_) => pred_writes += 1,
                     }
-                    sink.pred_write(p);
+                    sink.event(&event);
+                }
+                Delivery::Batched => {
+                    match &event {
+                        Event::Branch(_) => branches += 1,
+                        Event::PredWrite(_) => pred_writes += 1,
+                    }
+                    buffer.push(event);
+                    if buffer.len() == EVENT_BATCH_CAPACITY {
+                        sink.events(buffer);
+                        buffer.clear();
+                    }
                 }
             }
+        }
+        if !buffer.is_empty() {
+            sink.events(buffer);
+            buffer.clear();
         }
         let summary = read_summary(&mut self.input)?;
         let stored_count = varint::read_u64(&mut self.input)?;
@@ -175,7 +230,7 @@ impl<R: Read> TraceReader<R> {
         if stored != computed {
             return Err(TraceError::ChecksumMismatch { stored, computed });
         }
-        if instructions {
+        if delivery == Delivery::PerEventWithInstructions {
             while next_instruction < summary.instructions {
                 sink.instruction(0, next_instruction);
                 next_instruction += 1;
@@ -189,6 +244,17 @@ impl<R: Read> TraceReader<R> {
             checksum: stored,
         })
     }
+}
+
+/// How [`TraceReader::replay_impl`] hands decoded events to the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Delivery {
+    /// [`EventSink::events`] in [`EVENT_BATCH_CAPACITY`]-sized chunks.
+    Batched,
+    /// One [`EventSink::event`] call per event (the A/B baseline).
+    PerEvent,
+    /// Per-event with synthesized `instruction` callbacks interleaved.
+    PerEventWithInstructions,
 }
 
 /// Emits the instruction callbacks leading up to (and including) the
@@ -253,6 +319,23 @@ mod tests {
             .read_events()
             .unwrap();
         assert_eq!(events, live.events());
+    }
+
+    #[test]
+    fn per_event_delivery_matches_batched() {
+        let (_, _, bytes) = toy();
+        let mut batched = TraceSink::new();
+        let batched_stats = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .replay(&mut batched)
+            .unwrap();
+        let mut per_event = TraceSink::new();
+        let per_event_stats = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .replay_per_event(&mut per_event)
+            .unwrap();
+        assert_eq!(batched_stats, per_event_stats);
+        assert_eq!(batched.events(), per_event.events());
     }
 
     #[test]
