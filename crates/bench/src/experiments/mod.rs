@@ -20,6 +20,7 @@ mod f13;
 mod f14;
 mod f15;
 mod f16;
+mod f17;
 mod f2;
 mod f3;
 mod f4;
@@ -209,6 +210,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "retire-latency sensitivity of the headline result (extension)",
             run: f16::run,
         },
+        Experiment {
+            id: "f17",
+            title: "H2P taxonomy vs per-branch misprediction deltas (extension)",
+            run: f17::run,
+        },
     ]
 }
 
@@ -244,9 +250,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 18);
+        assert_eq!(all.len(), 19);
         let ids: std::collections::HashSet<_> = all.iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
         assert!(find_experiment("f3").is_some());
         assert!(find_experiment("zz").is_none());
     }
@@ -400,6 +406,54 @@ mod tests {
             let max = pct(t.cell(row, 4).unwrap());
             assert!(min <= mean + 1e-9 && mean <= max + 1e-9, "row {row}");
         }
+    }
+
+    #[test]
+    fn f17_wins_concentrate_in_the_predicate_bucket() {
+        let artifacts = quick_artifacts("f17");
+        let deltas = table_of(&artifacts, 0);
+        // rows: 4 buckets in Bucket::ALL order + the (all) total
+        assert_eq!(deltas.row_count(), 5);
+        let delta = |row: usize, col: usize| -> f64 {
+            deltas.cell(row, col).unwrap().as_str().parse().unwrap()
+        };
+        // +both's win (pp, col 6) in the predicate-predictable bucket
+        // (row 2) must exceed its win in every other bucket
+        let predicate_win = delta(2, 6);
+        assert!(predicate_win > 0.0, "{predicate_win}");
+        for row in [0, 1, 3] {
+            assert!(
+                predicate_win > delta(row, 6),
+                "row {row}: {} >= {predicate_win}",
+                delta(row, 6)
+            );
+        }
+        // every quick-suite static sits in exactly one bucket: the
+        // bucket rows' static counts sum to the (all) row's
+        let count = |row: usize| -> u64 {
+            deltas
+                .cell(row, 1)
+                .unwrap()
+                .as_str()
+                .replace(',', "")
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(count(0) + count(1) + count(2) + count(3), count(4));
+        // and the per-benchmark population table tallies the same total
+        let population = table_of(&artifacts, 1);
+        let statics: u64 = (0..population.row_count())
+            .map(|r| {
+                population
+                    .cell(r, 1)
+                    .unwrap()
+                    .as_str()
+                    .replace(',', "")
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(statics, count(4));
     }
 
     #[test]

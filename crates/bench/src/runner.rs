@@ -27,7 +27,7 @@ use predbranch_core::{
     PredictionHarness, PredictionMetrics, PredictorSpec, Timing,
 };
 use predbranch_isa::Program;
-use predbranch_sim::{Event, Executor, Memory, RunSummary, EVENT_BATCH_CAPACITY};
+use predbranch_sim::{Event, EventSink, Executor, Memory, RunSummary, EVENT_BATCH_CAPACITY};
 use predbranch_sweep::{CellRecord, CellSource, Checkpoint, Json, ManifestBuilder, WorkerPool};
 use predbranch_trace::{memory_fingerprint, program_hash, CacheKey, TraceCache};
 use predbranch_workloads::{
@@ -486,6 +486,49 @@ impl RunContext {
             Some(pool) => pool.run_batch(jobs),
             None => jobs.into_iter().map(|job| job()).collect(),
         }
+    }
+
+    /// Streams one execution's decoded event stream into an arbitrary
+    /// [`EventSink`] at the standard cell budget — through the trace
+    /// cache when one is attached (recording on first touch, replaying
+    /// after), live otherwise. Events arrive in
+    /// [`EVENT_BATCH_CAPACITY`]-sized batches on both paths, so custom
+    /// analyses (characterization, attribution) see the identical
+    /// sequence a predictor cell would, from at most one decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails to halt within the suite instruction
+    /// budget, or on trace-cache I/O failure.
+    pub fn stream_events<S: EventSink>(
+        &self,
+        cache_label: &str,
+        program: &Program,
+        memory: &Memory,
+        sink: &mut S,
+    ) -> RunSummary {
+        let summary = match &self.cache {
+            Some(cache) => {
+                let key = CacheKey::for_run(cache_label, program, memory, CELL_BUDGET);
+                let (summary, hit) = cache
+                    .replay_or_record(&key, program, memory.clone(), CELL_BUDGET, sink)
+                    .expect("trace cache I/O failed");
+                let counter = if hit {
+                    &self.counters.replays
+                } else {
+                    &self.counters.recordings
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                summary
+            }
+            None => {
+                self.counters.live_runs.fetch_add(1, Ordering::Relaxed);
+                let mut buffer: Vec<Event> = Vec::with_capacity(EVENT_BATCH_CAPACITY);
+                Executor::new(program, memory.clone()).run_batched(sink, CELL_BUDGET, &mut buffer)
+            }
+        };
+        assert!(summary.halted, "experiment program did not halt");
+        summary
     }
 
     fn execute(&self, cell: &CellSpec) -> (RunOutcome, CellSource) {

@@ -31,6 +31,21 @@ fn quick_all_output_is_byte_identical_under_dyn_dispatch() {
     assert_golden(RunContext::new().with_dispatch(Dispatch::Dyn));
 }
 
+/// F17 postdates the speculative-history refactor, so it gets its own
+/// golden: the captured stdout of `experiments --quick f17`. Pinning
+/// the bytes pins the taxonomy thresholds, the join, and the table
+/// formatting at once.
+#[test]
+fn f17_quick_output_is_byte_identical_to_golden() {
+    let golden = include_str!("golden/f17_quick.txt");
+    let exp = find_experiment("f17").expect("f17 registered");
+    let mut rendered = String::new();
+    for artifact in (exp.run)(&RunContext::new(), &Scale::quick()) {
+        rendered.push_str(&format!("{artifact}\n"));
+    }
+    assert_eq!(rendered, golden, "f17 --quick output drifted from golden");
+}
+
 fn assert_golden(ctx: RunContext) {
     let golden = include_str!("golden/quick_all.txt");
     let scale = Scale::quick();

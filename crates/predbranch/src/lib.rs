@@ -18,7 +18,11 @@
 //!   cache, so sweeps execute each (binary, input) once;
 //! * [`sweep`] — a deterministic work-stealing sweep engine (worker
 //!   pool, run manifests, resumable checkpoints) whose parallel output
-//!   is byte-identical to sequential.
+//!   is byte-identical to sequential;
+//! * [`characterize`] — streaming predictability characterization:
+//!   per-branch entropy / mutual-information metrics and the four-way
+//!   H2P taxonomy (biased / history-predictable / predicate-predictable
+//!   / fundamentally-hard) computed in one pass over an event stream.
 //!
 //! # Quickstart
 //!
@@ -45,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use predbranch_characterize as characterize;
 pub use predbranch_compiler as compiler;
 pub use predbranch_core as core;
 pub use predbranch_isa as isa;

@@ -128,6 +128,13 @@ impl Ratio {
     }
 
     /// The ratio as a float; `0.0` when the denominator is zero.
+    ///
+    /// The zero-denominator rule applies to *any* numerator — `5/0` is
+    /// `0.0`, not infinity: a rate over an empty population is reported
+    /// as "no events", never as a NaN/∞ that would poison downstream
+    /// means. Counts at `u64::MAX` convert through `f64` (53-bit
+    /// mantissa), so extreme ratios are correct to within one part in
+    /// 2⁵³ — `Ratio::of(u64::MAX, u64::MAX).value()` is exactly `1.0`.
     pub fn value(&self) -> f64 {
         if self.denominator == 0 {
             0.0
@@ -136,7 +143,8 @@ impl Ratio {
         }
     }
 
-    /// The ratio scaled to percent.
+    /// The ratio scaled to percent; `0.0` when the denominator is zero
+    /// (see [`Ratio::value`] for the exact degenerate-case contract).
     pub fn percent(&self) -> f64 {
         self.value() * 100.0
     }
@@ -208,6 +216,20 @@ mod tests {
         let r = Ratio::of(5, 0);
         assert_eq!(r.value(), 0.0);
         assert_eq!(r.percent(), 0.0);
+        assert_eq!(r.per_kilo(), 0.0);
+        // a pegged numerator over an empty population is still "no events"
+        assert_eq!(Ratio::of(u64::MAX, 0).percent(), 0.0);
+        assert_eq!(Ratio::of(0, 0).percent(), 0.0);
+    }
+
+    #[test]
+    fn ratio_extreme_counts_stay_finite_and_ordered() {
+        assert_eq!(Ratio::of(u64::MAX, u64::MAX).value(), 1.0);
+        assert_eq!(Ratio::of(u64::MAX, u64::MAX).percent(), 100.0);
+        let tiny = Ratio::of(1, u64::MAX).value();
+        assert!(tiny > 0.0 && tiny < 1e-18);
+        let huge = Ratio::of(u64::MAX, 1).percent();
+        assert!(huge.is_finite() && huge > 1e21);
     }
 
     #[test]

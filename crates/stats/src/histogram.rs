@@ -64,6 +64,12 @@ impl Histogram {
     /// Creates a histogram with `buckets` power-of-two buckets:
     /// `[0,1), [1,2), [2,4), [4,8), ...`.
     ///
+    /// A sample of `u64::MAX` belongs to bucket index 64 (the
+    /// `[2^63, 2^64)` bucket): with 65 or more buckets it is counted
+    /// there, otherwise it lands in the overflow bucket. See
+    /// [`Histogram::bucket_range`] for how that top bucket's
+    /// unrepresentable upper edge is reported.
+    ///
     /// # Panics
     ///
     /// Panics if `buckets` is zero.
@@ -80,18 +86,23 @@ impl Histogram {
     }
 
     fn bucket_index(&self, sample: u64) -> Option<usize> {
+        // Index math stays in u64 until the range check: casting first
+        // would let a huge `sample / width` wrap on 32-bit targets and
+        // land in a bogus small bucket. The largest possible index is
+        // 64 (log₂ scheme, `sample == u64::MAX`), which a sufficiently
+        // tall histogram stores like any other bucket.
         let idx = match self.scheme {
-            Scheme::Linear { width } => (sample / width) as usize,
+            Scheme::Linear { width } => sample / width,
             Scheme::Log2 => {
                 if sample == 0 {
                     0
                 } else {
-                    (64 - sample.leading_zeros()) as usize
+                    u64::from(64 - sample.leading_zeros())
                 }
             }
         };
-        if idx < self.buckets.len() {
-            Some(idx)
+        if idx < self.buckets.len() as u64 {
+            Some(idx as usize)
         } else {
             None
         }
@@ -148,18 +159,38 @@ impl Histogram {
 
     /// The inclusive-exclusive `[lo, hi)` range of bucket `idx`.
     ///
+    /// Edges saturate at `u64::MAX` instead of overflowing: the log₂
+    /// bucket at index 64 (which is where `u64::MAX` lands — its
+    /// nominal upper edge 2⁶⁴ is unrepresentable) reports
+    /// `[2^63, u64::MAX)`, and linear buckets whose nominal edges
+    /// exceed `u64::MAX` clamp the same way. A saturated bucket is
+    /// therefore the one place the `[lo, hi)` convention bends: it also
+    /// holds samples equal to `u64::MAX` itself.
+    ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
     pub fn bucket_range(&self, idx: usize) -> (u64, u64) {
         assert!(idx < self.buckets.len(), "bucket index out of range");
+        // 2^e, saturating at u64::MAX for e >= 64 — the log₂ scheme's
+        // top buckets have unrepresentable nominal edges.
+        let pow2 = |e: usize| -> u64 {
+            if e >= 64 {
+                u64::MAX
+            } else {
+                1u64 << e
+            }
+        };
         match self.scheme {
-            Scheme::Linear { width } => (idx as u64 * width, (idx as u64 + 1) * width),
+            Scheme::Linear { width } => (
+                (idx as u64).saturating_mul(width),
+                (idx as u64).saturating_add(1).saturating_mul(width),
+            ),
             Scheme::Log2 => {
                 if idx == 0 {
                     (0, 1)
                 } else {
-                    (1 << (idx - 1), 1 << idx)
+                    (pow2(idx - 1), pow2(idx))
                 }
             }
         }
@@ -288,6 +319,36 @@ mod tests {
         assert_eq!(h.bucket_count(2), 1);
         assert_eq!(h.bucket_count(3), 1);
         assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn u64_max_lands_in_log2_bucket_64() {
+        // tall enough histogram: u64::MAX is a regular sample, not overflow
+        let mut h = Histogram::log2(65);
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.bucket_count(64), 2);
+        assert_eq!(h.overflow(), 0);
+        // the top bucket's nominal upper edge 2^64 saturates
+        assert_eq!(h.bucket_range(64), (1u64 << 63, u64::MAX));
+        assert_eq!(h.max(), u64::MAX);
+        // short histogram: same sample overflows instead of panicking
+        let mut short = Histogram::log2(4);
+        short.record(u64::MAX);
+        assert_eq!(short.overflow(), 1);
+    }
+
+    #[test]
+    fn linear_bucket_ranges_saturate_instead_of_overflowing() {
+        let h = Histogram::linear(4, u64::MAX / 2);
+        assert_eq!(h.bucket_range(0), (0, u64::MAX / 2));
+        // nominal edges 2·(u64::MAX/2) and beyond clamp to u64::MAX
+        assert_eq!(h.bucket_range(2).1, u64::MAX);
+        assert_eq!(h.bucket_range(3), (u64::MAX, u64::MAX));
+        let mut h = Histogram::linear(2, u64::MAX);
+        h.record(u64::MAX); // u64::MAX / u64::MAX == 1: second bucket
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.overflow(), 0);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * [`Histogram`] — fixed-bucket and log₂ histograms for distance and
 //!   size distributions,
 //! * [`Summary`] — running mean / variance / min / max accumulators,
+//! * [`entropy_bits`] / [`JointDistribution`] — Shannon entropy and
+//!   mutual-information accumulators for predictability characterization,
 //! * [`geometric_mean`] and friends — suite-level aggregation used when a
 //!   figure reports one bar per benchmark plus an average,
 //! * [`Table`] and [`Series`] — plain-text renderers that print experiment
@@ -36,12 +38,14 @@
 #![warn(missing_debug_implementations)]
 
 mod counter;
+mod entropy;
 mod histogram;
 mod series;
 mod summary;
 mod table;
 
 pub use counter::{Counter, Ratio};
+pub use entropy::{entropy_bits, JointDistribution};
 pub use histogram::Histogram;
 pub use series::Series;
 pub use summary::{geometric_mean, harmonic_mean, mean, Summary};

@@ -4,10 +4,11 @@
 //! pbtrace record --bench <name> -o <file.pbt> [--plain] [--hoist]
 //!                [--seed N] [--budget N]
 //! pbtrace record <file.s> -o <file.pbt> [--seed N] [--budget N]
-//! pbtrace info   <file.pbt>
+//! pbtrace info   <file.pbt> [--json]
 //! pbtrace dump   <file.pbt> [--limit N]
 //! pbtrace verify <file.pbt>
-//! pbtrace stats  <dir>
+//! pbtrace stats  <dir> [--json]
+//! pbtrace characterize <dir|file.pbt> [--json] [--jobs N]
 //! pbtrace list
 //! ```
 //!
@@ -16,23 +17,34 @@
 //! the provenance header and footer statistics, `dump` prints events as
 //! text, `verify` fully checks structure, event count, and checksum.
 //! `stats` summarizes a trace-cache directory: entry count, total
-//! bytes, and a per-benchmark breakdown.
+//! bytes, and a per-benchmark breakdown. `characterize` replays each
+//! trace once through the streaming predictability characterizer and
+//! prints the per-static-branch H2P taxonomy; its output is
+//! byte-identical at any `--jobs` level.
+//!
+//! `--json` renders through the same ordered-JSON module the sweep
+//! manifests use, so field order — and therefore the byte stream — is
+//! deterministic.
 
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use predbranch_characterize::{Characterization, Characterizer};
 use predbranch_isa::{assemble, Program};
 use predbranch_sim::{Event, Executor, Memory};
+use predbranch_sweep::{Json, WorkerPool};
 use predbranch_trace::{program_hash, TraceHeader, TraceReader, TraceWriter};
 use predbranch_workloads::{compile_benchmark, suite, CompileOptions, EVAL_SEED};
 
 const USAGE: &str = "usage:
   pbtrace record --bench <name> -o <file.pbt> [--plain] [--hoist] [--seed N] [--budget N]
   pbtrace record <file.s> -o <file.pbt> [--seed N] [--budget N]
-  pbtrace info   <file.pbt>
+  pbtrace info   <file.pbt> [--json]
   pbtrace dump   <file.pbt> [--limit N]
   pbtrace verify <file.pbt>
-  pbtrace stats  <dir>
+  pbtrace stats  <dir> [--json]
+  pbtrace characterize <dir|file.pbt> [--json] [--jobs N]
   pbtrace list";
 
 fn main() -> ExitCode {
@@ -43,6 +55,7 @@ fn main() -> ExitCode {
         Some("dump") => dump(&args[1..]),
         Some("verify") => verify(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("characterize") => characterize(&args[1..]),
         Some("list") => {
             for bench in suite() {
                 println!("{:<12} {}", bench.name(), bench.description());
@@ -153,16 +166,38 @@ fn record_program(
 }
 
 fn info(args: &[String]) -> Result<(), String> {
-    let path = one_path(args)?;
+    let (path, json) = path_and_json(args, "info")?;
     let reader = TraceReader::open(&path).map_err(|e| format!("{path}: {e}"))?;
     let header = reader.header().clone();
+    let stats = reader.verify().map_err(|e| format!("{path}: {e}"))?;
+    if json {
+        let doc = Json::obj()
+            .field("file", path.as_str())
+            .field(
+                "format_version",
+                u64::from(predbranch_trace::FORMAT_VERSION),
+            )
+            .field("benchmark", header.name.as_str())
+            .field("program_hash", format!("{:016x}", header.program_hash))
+            .field("seed", format!("{:016x}", header.seed))
+            .field("budget", json_u64(header.budget))
+            .field("events", json_u64(stats.events))
+            .field("branches", json_u64(stats.branches))
+            .field("conditional", json_u64(stats.summary.conditional_branches))
+            .field("region", json_u64(stats.summary.region_branches))
+            .field("pred_writes", json_u64(stats.pred_writes))
+            .field("instructions", json_u64(stats.summary.instructions))
+            .field("halted", stats.summary.halted)
+            .field("checksum", format!("{:016x}", stats.checksum));
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
     println!("file:          {path}");
     println!("format:        PBTR v{}", predbranch_trace::FORMAT_VERSION);
     println!("benchmark:     {}", header.name);
     println!("program hash:  {:016x}", header.program_hash);
     println!("input seed:    {:#x}", header.seed);
     println!("budget:        {}", header.budget);
-    let stats = reader.verify().map_err(|e| format!("{path}: {e}"))?;
     println!("events:        {}", stats.events);
     println!(
         "  branches:    {} ({} conditional, {} region)",
@@ -235,16 +270,9 @@ fn verify(args: &[String]) -> Result<(), String> {
 }
 
 fn stats(args: &[String]) -> Result<(), String> {
-    let dir = match args {
-        [dir] if !dir.starts_with('-') => dir.clone(),
-        _ => return Err(format!("stats needs exactly one cache directory\n{USAGE}")),
-    };
+    let (dir, json) = path_and_json(args, "stats")?;
     let cache = predbranch_trace::TraceCache::open(&dir).map_err(|e| format!("{dir}: {e}"))?;
     let entries = cache.scan().map_err(|e| format!("{dir}: {e}"))?;
-    if entries.is_empty() {
-        println!("{dir}: empty cache (0 entries)");
-        return Ok(());
-    }
 
     // group by benchmark: the label's leading component ("gzip-pred-1f"
     // → "gzip"); unreadable headers are grouped as "<corrupt>"
@@ -266,6 +294,30 @@ fn stats(args: &[String]) -> Result<(), String> {
         slot.1 += entry.bytes;
     }
 
+    if json {
+        let benchmarks: Vec<Json> = per_bench
+            .iter()
+            .map(|(bench, (count, bytes))| {
+                Json::obj()
+                    .field("benchmark", bench.as_str())
+                    .field("entries", json_u64(*count))
+                    .field("bytes", json_u64(*bytes))
+            })
+            .collect();
+        let doc = Json::obj()
+            .field("cache", dir.as_str())
+            .field("entries", entries.len())
+            .field("bytes", json_u64(total_bytes))
+            .field("corrupt", json_u64(corrupt))
+            .field("benchmarks", Json::Arr(benchmarks));
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
+
+    if entries.is_empty() {
+        println!("{dir}: empty cache (0 entries)");
+        return Ok(());
+    }
     println!("cache:     {dir}");
     println!("entries:   {}", entries.len());
     println!("bytes:     {total_bytes} ({})", human_bytes(total_bytes));
@@ -278,6 +330,133 @@ fn stats(args: &[String]) -> Result<(), String> {
         println!("{bench:<14} {count:>8} {bytes:>14}");
     }
     Ok(())
+}
+
+/// Characterizes every trace in a cache directory (or one `.pbt` file):
+/// replays each through a [`Characterizer`] — one worker job per trace
+/// when `--jobs N` is given — and prints per-trace taxonomy tables or
+/// one ordered-JSON document. Results print in scan order regardless of
+/// job count, so output is byte-identical at any `--jobs` level.
+fn characterize(args: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut json = false;
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--jobs" => jobs = parse(&take(&mut it, "--jobs")?)? as usize,
+            p if !p.starts_with('-') && path.is_none() => path = Some(p.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or_else(|| format!("characterize needs a cache dir or file\n{USAGE}"))?;
+
+    // TraceCache::open creates missing directories; a read-only command
+    // must not, so resolve the file list by hand.
+    let files: Vec<PathBuf> = if std::path::Path::new(&path).is_dir() {
+        let cache =
+            predbranch_trace::TraceCache::open(&path).map_err(|e| format!("{path}: {e}"))?;
+        let entries = cache.scan().map_err(|e| format!("{path}: {e}"))?;
+        entries.into_iter().map(|e| e.path).collect()
+    } else if std::path::Path::new(&path).is_file() {
+        vec![PathBuf::from(&path)]
+    } else {
+        return Err(format!("{path}: no such file or directory"));
+    };
+    if files.is_empty() {
+        return Err(format!("{path}: no .pbt traces found"));
+    }
+
+    type CharTask = Box<dyn FnOnce() -> Result<(String, String, Characterization), String> + Send>;
+    let tasks: Vec<CharTask> = files
+        .into_iter()
+        .map(|file| Box::new(move || characterize_one(&file)) as CharTask)
+        .collect();
+    // run_batch returns results in submission (= scan) order, so the
+    // rendering below is independent of worker interleaving
+    let results: Vec<(String, String, Characterization)> = WorkerPool::new(jobs)
+        .run_batch(tasks)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+
+    if json {
+        let traces: Vec<Json> = results
+            .iter()
+            .map(|(file, benchmark, report)| {
+                Json::obj()
+                    .field("file", file.as_str())
+                    .field("benchmark", benchmark.as_str())
+                    .field("report", report.to_json())
+            })
+            .collect();
+        let doc = Json::obj()
+            .field("traces", Json::Arr(traces))
+            .field("summary", {
+                let mut buckets = Json::obj();
+                for bucket in predbranch_characterize::Bucket::ALL {
+                    let count: usize = results.iter().map(|(_, _, r)| r.bucket_count(bucket)).sum();
+                    buckets = buckets.field(bucket.label(), count);
+                }
+                buckets
+            });
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
+
+    for (i, (_, benchmark, report)) in results.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("{}", report.table(benchmark.as_str()));
+        println!("{}", report.summary());
+    }
+    Ok(())
+}
+
+/// Replays one trace file into a fresh [`Characterizer`]. Returns
+/// `(file basename, benchmark name, report)` — the basename (never the
+/// full path) so rendered output is location-independent.
+fn characterize_one(file: &std::path::Path) -> Result<(String, String, Characterization), String> {
+    let shown = file.display();
+    let basename = file
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| shown.to_string());
+    let reader = TraceReader::open(file).map_err(|e| format!("{shown}: {e}"))?;
+    let benchmark = reader.header().name.clone();
+    let mut sink = Characterizer::new();
+    reader
+        .replay(&mut sink)
+        .map_err(|e| format!("{shown}: {e}"))?;
+    Ok((basename, benchmark, sink.finish()))
+}
+
+/// Renders a `u64` for ordered JSON: a number when exactly
+/// representable in f64, a decimal string beyond 2^53 (the module
+/// asserts on lossy conversions).
+fn json_u64(n: u64) -> Json {
+    if n <= 1u64 << 53 {
+        Json::from(n)
+    } else {
+        Json::Str(n.to_string())
+    }
+}
+
+/// Parses `<path> [--json]` — the shared argument shape of `info` and
+/// `stats`.
+fn path_and_json(args: &[String], cmd: &str) -> Result<(String, bool), String> {
+    let mut path: Option<String> = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            p if !p.starts_with('-') && path.is_none() => path = Some(p.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    path.map(|p| (p, json))
+        .ok_or_else(|| format!("{cmd} needs exactly one path\n{USAGE}"))
 }
 
 fn human_bytes(bytes: u64) -> String {
