@@ -26,6 +26,9 @@
 //!                            # trait-object path instead of the
 //!                            # statically-dispatched enum stack
 //!                            # (identical output, for A/B checks)
+//! experiments --list-stacks  # list every statically-dispatched
+//!                            # predictor stack (generated from the
+//!                            # stack macros, never hand-maintained)
 //! experiments bench --json --quick
 //!                            # measure replay throughput (dyn vs enum,
 //!                            # retire 0 and 8) and write BENCH_5.json
@@ -53,6 +56,15 @@ fn main() -> ExitCode {
     let bars = flag("--bars");
     let markdown = flag("--markdown");
     let json = flag("--json");
+    if flag("--list-stacks") {
+        // generated straight from the stack macros' variant tables, so
+        // the listing can never drift from the dispatch enums
+        println!("available predictor stacks (variant  payload type):");
+        for variant in predbranch_modern::all_stack_variants() {
+            println!("  {:<20} {}", variant.name, variant.type_name());
+        }
+        return ExitCode::SUCCESS;
+    }
     let mut valued = |name: &str| -> Result<Option<String>, String> {
         match args.iter().position(|a| a == name) {
             Some(pos) if pos + 1 < args.len() => {
@@ -173,7 +185,8 @@ fn main() -> ExitCode {
         println!(
             "usage: experiments [--quick] [--jobs N] [--retire-latency R] \
              [--dispatch enum|dyn] [--trace-cache <dir>] [--manifest <file>] \
-             [--checkpoint <file>] <id>... | all | bench [--json] [--out <file>]\n"
+             [--checkpoint <file>] <id>... | all | bench [--json] [--out <file>] \
+             | --list-stacks\n"
         );
         for exp in all_experiments() {
             println!("  {:<4} {}", exp.id, exp.title);

@@ -30,7 +30,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
             cells_in.push(CellSpec::predicated(
                 entry,
                 format!("f10/{}/{tag}", entry.compiled.name),
-                &base_spec().with_pgu(delay),
+                base_spec().with_pgu(delay),
                 scale.timing(),
                 insert,
             ));

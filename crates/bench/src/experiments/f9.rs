@@ -34,7 +34,7 @@ pub(crate) fn run(ctx: &RunContext, scale: &Scale) -> Vec<Artifact> {
             cells_in.push(CellSpec::predicated(
                 entry,
                 format!("f9/{}/{tag}", entry.compiled.name),
-                spec,
+                *spec,
                 Timing::new(*latency, scale.retire_latency),
                 InsertFilter::All,
             ));

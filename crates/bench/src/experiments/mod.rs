@@ -8,6 +8,7 @@
 use std::fmt;
 
 use predbranch_core::{PredictorSpec, Timing};
+use predbranch_modern::ModernSpec;
 use predbranch_stats::{Series, Table};
 
 use crate::runner::{RunContext, DEFAULT_LATENCY, PGU_DELAY};
@@ -21,6 +22,8 @@ mod f14;
 mod f15;
 mod f16;
 mod f17;
+mod f18;
+mod f19;
 mod f2;
 mod f3;
 mod f4;
@@ -215,6 +218,16 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "H2P taxonomy vs per-branch misprediction deltas (extension)",
             run: f17::run,
         },
+        Experiment {
+            id: "f18",
+            title: "modern baselines: gshare vs TAGE vs MPP, each ±SFPF ±PGU (extension)",
+            run: f18::run,
+        },
+        Experiment {
+            id: "f19",
+            title: "modern-predictor wins by taxonomy bucket (extension)",
+            run: f19::run,
+        },
     ]
 }
 
@@ -243,6 +256,29 @@ pub(crate) fn headline_specs() -> Vec<(&'static str, PredictorSpec)> {
     ]
 }
 
+/// The modern-tier TAGE configuration F18/F19 evaluate: four tables of
+/// 1 K entries over a 64-bit geometric history series.
+pub(crate) fn tage_spec() -> ModernSpec {
+    "tage:4/10/64".parse().expect("valid tage spec")
+}
+
+/// The modern-tier multiperspective-perceptron configuration F18/F19
+/// evaluate: seven views of 4 K six-bit weights each.
+pub(crate) fn mpp_spec() -> ModernSpec {
+    "mpp:12".parse().expect("valid mpp spec")
+}
+
+/// `base` with the study's four modifier combinations (none, +SFPF,
+/// +PGU, +both) — [`headline_specs`] generalized to any base predictor.
+pub(crate) fn modifier_grid(base: ModernSpec) -> Vec<(&'static str, ModernSpec)> {
+    vec![
+        ("base", base.clone()),
+        ("+SFPF", base.clone().with_sfpf()),
+        ("+PGU", base.clone().with_pgu(PGU_DELAY)),
+        ("+both", base.with_sfpf().with_pgu(PGU_DELAY)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,10 +286,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 19);
+        assert_eq!(all.len(), 21);
         let ids: std::collections::HashSet<_> = all.iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 21);
         assert!(find_experiment("f3").is_some());
+        assert!(find_experiment("f18").is_some());
         assert!(find_experiment("zz").is_none());
     }
 
@@ -454,6 +491,44 @@ mod tests {
             })
             .sum();
         assert_eq!(statics, count(4));
+    }
+
+    #[test]
+    fn f18_modern_bases_do_not_trail_gshare() {
+        let artifacts = quick_artifacts("f18");
+        assert_eq!(artifacts.len(), 3);
+        // row 3 is `amean`, column 1 the bare base: the modern bases
+        // must not mispredict more than the 2003-era gshare baseline
+        let amean = |family: usize| pct(table_of(&artifacts, family).cell(3, 1).unwrap());
+        let gshare = amean(0);
+        assert!(amean(1) <= gshare, "tage {} > gshare {gshare}", amean(1));
+        assert!(amean(2) <= gshare, "mpp {} > gshare {gshare}", amean(2));
+    }
+
+    #[test]
+    fn f19_modern_wins_concentrate_in_the_predicate_bucket() {
+        let artifacts = quick_artifacts("f19");
+        let t = table_of(&artifacts, 0);
+        // rows: 4 buckets in Bucket::ALL order + the (all) total
+        assert_eq!(t.row_count(), 5);
+        let delta =
+            |row: usize, col: usize| -> f64 { t.cell(row, col).unwrap().as_str().parse().unwrap() };
+        // the ISSUE's forward-looking claim: whatever the predicate
+        // mechanisms still buy on a modern base lands in the
+        // predicate-predictable bucket (row 2). Checked for +SFPF+PGU
+        // on TAGE (col 4) and MPP (col 7), and for the predicate-aware
+        // variants ptage (col 5) and pmpp (col 8).
+        for col in [4, 5, 7, 8] {
+            let predicate_win = delta(2, col);
+            assert!(predicate_win > 0.0, "col {col}: {predicate_win}");
+            for row in [0, 1, 3] {
+                assert!(
+                    predicate_win > delta(row, col),
+                    "col {col} row {row}: {} >= {predicate_win}",
+                    delta(row, col)
+                );
+            }
+        }
     }
 
     #[test]

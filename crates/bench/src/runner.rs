@@ -27,6 +27,7 @@ use predbranch_core::{
     PredictionHarness, PredictionMetrics, PredictorSpec, Timing,
 };
 use predbranch_isa::Program;
+use predbranch_modern::{build_modern, build_modern_stack, ModernSpec};
 use predbranch_sim::{Event, EventSink, Executor, Memory, RunSummary, EVENT_BATCH_CAPACITY};
 use predbranch_sweep::{CellRecord, CellSource, Checkpoint, Json, ManifestBuilder, WorkerPool};
 use predbranch_trace::{memory_fingerprint, program_hash, CacheKey, TraceCache};
@@ -50,13 +51,13 @@ const CELL_BUDGET: u64 = 2 * DEFAULT_MAX_INSTRUCTIONS;
 /// How predictor calls are dispatched on the hot path.
 ///
 /// Both paths drive predictors whose *state transitions* are identical
-/// — [`predbranch_core::PredictorStack`] is a structural mirror of
-/// [`build_predictor`] — so every experiment result is byte-identical
+/// — [`predbranch_modern::ModernStack`] is a structural mirror of
+/// [`build_modern`] — so every experiment result is byte-identical
 /// under either setting. `Dyn` exists as an A/B lever: the golden-parity
 /// suite runs under both, and `experiments bench` measures the gap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Dispatch {
-    /// Statically-dispatched [`predbranch_core::PredictorStack`] enum
+    /// Statically-dispatched [`predbranch_modern::ModernStack`] enum
     /// (the default): each predictor operation is one match and a
     /// direct, inlinable call.
     #[default]
@@ -144,6 +145,13 @@ impl RunOutcome {
 /// spec, and the machine options — everything that determines a
 /// [`RunOutcome`]. Cells own their data (`'static`) so they can migrate
 /// across worker threads.
+///
+/// The spec is a [`ModernSpec`]: classic paper-era configurations and
+/// the modern tier (TAGE, multiperspective perceptron) share one cell
+/// type. Constructors accept anything convertible — in particular a
+/// `&PredictorSpec`, so classic experiments read unchanged — and
+/// `ModernSpec`'s `Debug` is transparent for classic specs, keeping
+/// every pre-existing checkpoint/cache key stable.
 #[derive(Debug, Clone)]
 pub struct CellSpec {
     /// Manifest/checkpoint display label, e.g. `f3/gzip/+PGU`.
@@ -157,7 +165,7 @@ pub struct CellSpec {
     /// The input image.
     pub memory: Memory,
     /// Predictor configuration.
-    pub spec: PredictorSpec,
+    pub spec: ModernSpec,
     /// Update-timing knobs (resolve and retire latencies).
     pub timing: Timing,
     /// Which predicate definitions reach the predictor.
@@ -170,7 +178,7 @@ impl CellSpec {
     pub fn predicated(
         entry: &SuiteEntry,
         label: impl Into<String>,
-        spec: &PredictorSpec,
+        spec: impl Into<ModernSpec>,
         timing: Timing,
         insert: InsertFilter,
     ) -> Self {
@@ -179,7 +187,7 @@ impl CellSpec {
             cache_label: format!("{}-pred", entry.compiled.name),
             program: entry.compiled.predicated.clone(),
             memory: entry.eval_input(),
-            spec: spec.clone(),
+            spec: spec.into(),
             timing,
             insert,
         }
@@ -190,7 +198,7 @@ impl CellSpec {
     pub fn plain(
         entry: &SuiteEntry,
         label: impl Into<String>,
-        spec: &PredictorSpec,
+        spec: impl Into<ModernSpec>,
         timing: Timing,
         insert: InsertFilter,
     ) -> Self {
@@ -199,7 +207,7 @@ impl CellSpec {
             cache_label: format!("{}-plain", entry.compiled.name),
             program: entry.compiled.plain.clone(),
             memory: entry.eval_input(),
-            spec: spec.clone(),
+            spec: spec.into(),
             timing,
             insert,
         }
@@ -211,7 +219,7 @@ impl CellSpec {
         entry: &SuiteEntry,
         label: impl Into<String>,
         seed: u64,
-        spec: &PredictorSpec,
+        spec: impl Into<ModernSpec>,
         timing: Timing,
         insert: InsertFilter,
     ) -> Self {
@@ -220,7 +228,7 @@ impl CellSpec {
             cache_label: format!("{}-pred-{seed:x}", entry.compiled.name),
             program: entry.compiled.predicated.clone(),
             memory: entry.bench.input(seed),
-            spec: spec.clone(),
+            spec: spec.into(),
             timing,
             insert,
         }
@@ -533,8 +541,8 @@ impl RunContext {
 
     fn execute(&self, cell: &CellSpec) -> (RunOutcome, CellSource) {
         match self.dispatch {
-            Dispatch::Enum => self.execute_with(build_predictor_stack(&cell.spec), cell),
-            Dispatch::Dyn => self.execute_with(build_predictor(&cell.spec), cell),
+            Dispatch::Enum => self.execute_with(build_modern_stack(&cell.spec), cell),
+            Dispatch::Dyn => self.execute_with(build_modern(&cell.spec), cell),
         }
     }
 
@@ -803,10 +811,15 @@ mod tests {
         assert_eq!(base.key(), relabeled.key());
         // but every content knob separates
         let other_spec = CellSpec {
-            spec: PredictorSpec::StaticBtfn,
+            spec: PredictorSpec::StaticBtfn.into(),
             ..base.clone()
         };
         assert_ne!(base.key(), other_spec.key());
+        let modern_spec = CellSpec {
+            spec: "tage:4/10/64".parse::<ModernSpec>().unwrap(),
+            ..base.clone()
+        };
+        assert_ne!(base.key(), modern_spec.key());
         let other_latency = CellSpec {
             timing: Timing::immediate(DEFAULT_LATENCY + 1),
             ..base.clone()

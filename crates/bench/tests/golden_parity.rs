@@ -46,6 +46,33 @@ fn f17_quick_output_is_byte_identical_to_golden() {
     assert_eq!(rendered, golden, "f17 --quick output drifted from golden");
 }
 
+/// F18 introduces the modern predictor tier (TAGE, multiperspective
+/// perceptron). Its golden is pinned across *both* dispatch paths and
+/// across worker counts: the modern predictors' speculative checkpoint
+/// machinery must be deterministic under parallel cell execution and
+/// structurally identical between the enum stack and the boxed
+/// composition.
+#[test]
+fn f18_quick_output_is_byte_identical_on_every_path() {
+    let golden = include_str!("golden/f18_quick.txt");
+    let exp = find_experiment("f18").expect("f18 registered");
+    for (tag, ctx) in [
+        ("enum", RunContext::new()),
+        ("dyn", RunContext::new().with_dispatch(Dispatch::Dyn)),
+        ("jobs2", RunContext::new().with_jobs(2)),
+        (
+            "dyn-jobs2",
+            RunContext::new().with_dispatch(Dispatch::Dyn).with_jobs(2),
+        ),
+    ] {
+        let mut rendered = String::new();
+        for artifact in (exp.run)(&ctx, &Scale::quick()) {
+            rendered.push_str(&format!("{artifact}\n"));
+        }
+        assert_eq!(rendered, golden, "f18 --quick output drifted ({tag})");
+    }
+}
+
 fn assert_golden(ctx: RunContext) {
     let golden = include_str!("golden/quick_all.txt");
     let scale = Scale::quick();

@@ -11,7 +11,7 @@
 use predbranch_sim::PredicateScoreboard;
 
 use crate::history::GlobalHistory;
-use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory, HistoryInsert};
 use crate::ring::Checkpoints;
 use crate::tables::{CounterTable, TwoBitCounter};
 
@@ -118,6 +118,12 @@ impl BranchPredictor for Agree {
 impl HasGlobalHistory for Agree {
     fn global_history_mut(&mut self) -> &mut GlobalHistory {
         &mut self.history
+    }
+}
+
+impl HistoryInsert for Agree {
+    fn insert_history_bit(&mut self, outcome: bool) {
+        self.history.shift_in(outcome);
     }
 }
 

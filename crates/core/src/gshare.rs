@@ -3,7 +3,7 @@
 use predbranch_sim::PredicateScoreboard;
 
 use crate::history::GlobalHistory;
-use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory, HistoryInsert};
 use crate::ring::Checkpoints;
 use crate::tables::CounterTable;
 
@@ -105,6 +105,12 @@ impl BranchPredictor for Gshare {
 impl HasGlobalHistory for Gshare {
     fn global_history_mut(&mut self) -> &mut GlobalHistory {
         &mut self.history
+    }
+}
+
+impl HistoryInsert for Gshare {
+    fn insert_history_bit(&mut self, outcome: bool) {
+        self.history.shift_in(outcome);
     }
 }
 

@@ -8,12 +8,7 @@ use predbranch_sim::{
 
 use crate::filter::{InsertFilter, LoweredFilter};
 use crate::predictor::{BranchInfo, BranchPredictor, PredictionMetrics};
-use crate::ring::Ring;
-
-/// Capacity of the harness's in-flight branch window (a bounded reorder
-/// buffer): when full, the oldest pending branch is force-retired to make
-/// room, like a real ROB stalling-then-retiring at capacity.
-const WINDOW_CAPACITY: usize = 64;
+use crate::ring::{Ring, WINDOW_CAPACITY};
 
 /// Update-timing knobs of the prediction pathway.
 ///

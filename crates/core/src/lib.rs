@@ -87,7 +87,7 @@ pub use config::{build_predictor, PredictorSpec};
 pub use filter::{guard_def_pcs, InsertFilter};
 pub use gshare::Gshare;
 pub use harness::{HarnessConfig, PredictionHarness, Timing};
-pub use history::GlobalHistory;
+pub use history::{FoldedHistory, GlobalHistory, LongHistory, MAX_LONG_HISTORY};
 pub use hot::HotBranches;
 pub use local::Local;
 pub use oracle::PerfectGuard;
@@ -95,10 +95,10 @@ pub use perceptron::Perceptron;
 pub use pgu::Pgu;
 pub use predictor::StaticPredictor;
 pub use predictor::{
-    BranchInfo, BranchPredictor, ClassCounts, HasGlobalHistory, PredictionMetrics,
+    BranchInfo, BranchPredictor, ClassCounts, HasGlobalHistory, HistoryInsert, PredictionMetrics,
 };
-pub use ring::{Checkpoints, Ring, CHECKPOINT_CAPACITY};
+pub use ring::{checkpoint_capacity, Checkpoints, Ring, CHECKPOINT_CAPACITY, WINDOW_CAPACITY};
 pub use sfpf::SquashFilter;
-pub use stack::{build_predictor_stack, PredictorStack};
+pub use stack::{build_predictor_stack, PredictorStack, StackVariant};
 pub use tables::{CounterTable, TwoBitCounter};
 pub use tournament::Tournament;

@@ -6,7 +6,7 @@
 use predbranch_sim::PredicateScoreboard;
 
 use crate::history::GlobalHistory;
-use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory, HistoryInsert};
 use crate::ring::Checkpoints;
 
 const WEIGHT_MAX: i32 = 127;
@@ -140,6 +140,12 @@ impl BranchPredictor for Perceptron {
 impl HasGlobalHistory for Perceptron {
     fn global_history_mut(&mut self) -> &mut GlobalHistory {
         &mut self.history
+    }
+}
+
+impl HistoryInsert for Perceptron {
+    fn insert_history_bit(&mut self, outcome: bool) {
+        self.history.shift_in(outcome);
     }
 }
 

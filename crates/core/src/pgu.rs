@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use predbranch_sim::{PredWriteEvent, PredicateScoreboard};
 
-use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory, HistoryInsert};
 
 /// The paper's second technique: shift recently computed
 /// predicate-definition outcomes into the wrapped predictor's global
@@ -47,7 +47,7 @@ pub struct Pgu<P> {
     inserted: u64,
 }
 
-impl<P: HasGlobalHistory> Pgu<P> {
+impl<P: HistoryInsert> Pgu<P> {
     /// Wraps `inner` with immediate (execute-time) predicate insertion.
     pub fn new(inner: P) -> Self {
         Pgu {
@@ -80,7 +80,7 @@ impl<P: HasGlobalHistory> Pgu<P> {
     fn drain_visible(&mut self, fetch_index: u64) {
         while let Some(&(def_index, value)) = self.pending.front() {
             if fetch_index.saturating_sub(def_index) >= self.delay {
-                self.inner.global_history_mut().shift_in(value);
+                self.inner.insert_history_bit(value);
                 self.inserted += 1;
                 self.pending.pop_front();
             } else {
@@ -90,7 +90,7 @@ impl<P: HasGlobalHistory> Pgu<P> {
     }
 }
 
-impl<P: BranchPredictor + HasGlobalHistory> BranchPredictor for Pgu<P> {
+impl<P: BranchPredictor + HistoryInsert> BranchPredictor for Pgu<P> {
     fn name(&self) -> String {
         if self.delay == 0 {
             format!("pgu+{}", self.inner.name())
@@ -127,11 +127,16 @@ impl<P: BranchPredictor + HasGlobalHistory> BranchPredictor for Pgu<P> {
 
     fn on_pred_write(&mut self, write: &PredWriteEvent) {
         if self.delay == 0 {
-            self.inner.global_history_mut().shift_in(write.value);
+            self.inner.insert_history_bit(write.value);
             self.inserted += 1;
         } else {
             self.pending.push_back((write.index, write.value));
         }
+        // The wrapped predictor may consume predicate definitions on its
+        // own (the predicate-aware modern predictors feed a dedicated
+        // predicate-history register this way); the classic bases all
+        // ignore the event, so forwarding is behavior-preserving.
+        self.inner.on_pred_write(write);
     }
 
     fn storage_bits(&self) -> usize {
@@ -142,6 +147,12 @@ impl<P: BranchPredictor + HasGlobalHistory> BranchPredictor for Pgu<P> {
 impl<P: HasGlobalHistory> HasGlobalHistory for Pgu<P> {
     fn global_history_mut(&mut self) -> &mut crate::history::GlobalHistory {
         self.inner.global_history_mut()
+    }
+}
+
+impl<P: HistoryInsert> HistoryInsert for Pgu<P> {
+    fn insert_history_bit(&mut self, outcome: bool) {
+        self.inner.insert_history_bit(outcome);
     }
 }
 

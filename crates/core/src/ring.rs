@@ -22,11 +22,29 @@
 
 use std::fmt;
 
-/// Capacity of the per-predictor checkpoint rings: the harness's
-/// 64-entry in-flight window bound, plus one slot for the speculate
-/// that momentarily overlaps the force-retire making room for it,
-/// rounded up to the next power of two so indexing is a mask.
-pub const CHECKPOINT_CAPACITY: usize = 128;
+/// Capacity of the harness's in-flight branch window (a bounded reorder
+/// buffer): when full, the oldest pending branch is force-retired to
+/// make room, like a real ROB stalling-then-retiring at capacity. Every
+/// per-predictor checkpoint FIFO is sized from this bound via
+/// [`checkpoint_capacity`].
+pub const WINDOW_CAPACITY: usize = 64;
+
+/// The ring capacity a per-predictor checkpoint FIFO needs to back an
+/// in-flight window of `window` branches: `window + 1` entries (the
+/// extra slot covers the instant a `speculate` overlaps the force-retire
+/// making room for its branch), rounded up to the next power of two so
+/// indexing is a mask. `const`, so predictors with their own snapshot
+/// rings (the modern tier's TAGE checkpoints are an order of magnitude
+/// larger than a gshare history) derive their capacity from the same
+/// window bound instead of hard-coding a number that can silently fall
+/// behind it.
+pub const fn checkpoint_capacity(window: usize) -> usize {
+    (window + 1).next_power_of_two()
+}
+
+/// Capacity of the per-predictor checkpoint rings, derived from
+/// [`WINDOW_CAPACITY`] via [`checkpoint_capacity`].
+pub const CHECKPOINT_CAPACITY: usize = checkpoint_capacity(WINDOW_CAPACITY);
 
 /// A fixed-capacity FIFO ring buffer over `Copy` elements.
 ///
@@ -264,6 +282,19 @@ mod tests {
         ring.push_back(1);
         ring.push_back(2);
         assert_eq!(format!("{ring:?}"), "[1, 2]");
+    }
+
+    #[test]
+    fn checkpoint_capacity_covers_window_plus_one() {
+        assert_eq!(checkpoint_capacity(WINDOW_CAPACITY), CHECKPOINT_CAPACITY);
+        assert_eq!(checkpoint_capacity(64), 128);
+        assert_eq!(checkpoint_capacity(63), 64);
+        assert_eq!(checkpoint_capacity(1), 2);
+        for window in 1..=256 {
+            let cap = checkpoint_capacity(window);
+            assert!(cap.is_power_of_two());
+            assert!(cap > window);
+        }
     }
 
     #[test]

@@ -32,6 +32,31 @@ use crate::sfpf::SquashFilter;
 use crate::tournament::Tournament;
 use predbranch_sim::{PredWriteEvent, PredicateScoreboard};
 
+/// One enumerated variant of a statically-dispatched predictor stack:
+/// the variant's name and the concrete predictor type it monomorphizes.
+///
+/// Emitted by the stack-generating macros alongside the enum itself, so
+/// CLI listings of the available stacks are generated from the same
+/// token stream as the dispatch code and can never drift from it (the
+/// CLI integration tests diff the printed list against this table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackVariant {
+    /// The enum variant name (e.g. `SfpfPguGshare`).
+    pub name: &'static str,
+    /// The concrete payload type as `stringify!` renders it — token
+    /// fragments stringify with spaces between tokens, so prefer
+    /// [`StackVariant::type_name`] for display.
+    pub ty: &'static str,
+}
+
+impl StackVariant {
+    /// The payload type with `stringify!`'s inter-token spaces removed
+    /// (e.g. `SquashFilter<Pgu<Gshare>>`).
+    pub fn type_name(&self) -> String {
+        self.ty.replace(' ', "")
+    }
+}
+
 /// Generates [`PredictorStack`] and its [`BranchPredictor`] delegation
 /// over the full set of concrete predictor shapes: every trait method
 /// becomes one `match` that hands the call to the variant's payload with
@@ -64,6 +89,13 @@ macro_rules! predictor_stack {
         }
 
         impl PredictorStack {
+            /// Every enumerated variant, generated from the same token
+            /// stream as the enum (one [`StackVariant`] per variant, in
+            /// declaration order, including the `Dyn` escape hatch).
+            pub const VARIANTS: &'static [StackVariant] = &[
+                $( StackVariant { name: stringify!($variant), ty: stringify!($ty) }, )+
+            ];
+
             /// Whether this stack dispatches statically (`false` only for
             /// the boxed [`PredictorStack::Dyn`] escape hatch).
             pub fn is_statically_dispatched(&self) -> bool {
@@ -537,5 +569,27 @@ mod tests {
     fn debug_shows_name() {
         let stack = build_predictor_stack(&PredictorSpec::StaticNotTaken);
         assert_eq!(format!("{stack:?}"), "PredictorStack(static-nt)");
+    }
+
+    #[test]
+    fn variants_table_tracks_the_enum() {
+        let names: Vec<&str> = PredictorStack::VARIANTS.iter().map(|v| v.name).collect();
+        // spot-check anchors at both ends and the escape hatch
+        assert_eq!(names.first(), Some(&"Static"));
+        assert!(names.contains(&"SfpfPguGshare"));
+        assert_eq!(names.last(), Some(&"Dyn"));
+        // unique, and every built shape's variant is listed
+        let unique: std::collections::BTreeSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        let gshare = PredictorStack::VARIANTS
+            .iter()
+            .find(|v| v.name == "Gshare")
+            .unwrap();
+        assert_eq!(gshare.type_name(), "Gshare");
+        let both = PredictorStack::VARIANTS
+            .iter()
+            .find(|v| v.name == "SfpfPguGshare")
+            .unwrap();
+        assert_eq!(both.type_name(), "SquashFilter<Pgu<Gshare>>");
     }
 }

@@ -5,7 +5,7 @@ use predbranch_sim::PredicateScoreboard;
 use crate::bimodal::Bimodal;
 use crate::gshare::Gshare;
 use crate::history::GlobalHistory;
-use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory};
+use crate::predictor::{BranchInfo, BranchPredictor, HasGlobalHistory, HistoryInsert};
 use crate::ring::Checkpoints;
 use crate::tables::CounterTable;
 
@@ -111,6 +111,12 @@ impl BranchPredictor for Tournament {
 impl HasGlobalHistory for Tournament {
     fn global_history_mut(&mut self) -> &mut GlobalHistory {
         self.gshare.global_history_mut()
+    }
+}
+
+impl HistoryInsert for Tournament {
+    fn insert_history_bit(&mut self, outcome: bool) {
+        self.gshare.insert_history_bit(outcome);
     }
 }
 

@@ -3,19 +3,21 @@
 //!
 //! ```text
 //! pbpredict <file.s> [--predictor SPEC] [--latency L] [--retire-latency R] [--max N]
+//! pbpredict --list-stacks
 //!
 //! SPEC examples:  gshare:13/13          bimodal:14
 //!                 gshare:13/13+sfpf     gshare:13/13+pgu8
 //!                 perceptron:7/14+sfpf+pgu8    oracle
+//!                 tage:8/12/128         ptage:8/12/128+sfpf
+//!                 mpp:13+pgu8           pmpp:13+sfpf+pgu8
 //! ```
 
 use std::fs;
 use std::process::ExitCode;
 
-use predbranch_core::{
-    build_predictor, HarnessConfig, InsertFilter, PredictionHarness, PredictorSpec, Timing,
-};
+use predbranch_core::{BranchPredictor, HarnessConfig, InsertFilter, PredictionHarness, Timing};
 use predbranch_isa::assemble;
+use predbranch_modern::{all_stack_variants, build_modern_stack, ModernSpec};
 use predbranch_sim::{Executor, Memory, PipelineConfig, DEFAULT_RETIRE_LATENCY};
 
 struct Options {
@@ -24,6 +26,7 @@ struct Options {
     latency: u64,
     retire_latency: u64,
     max: u64,
+    list_stacks: bool,
 }
 
 fn parse_args() -> Option<Options> {
@@ -34,6 +37,7 @@ fn parse_args() -> Option<Options> {
         latency: 8,
         retire_latency: DEFAULT_RETIRE_LATENCY,
         max: 10_000_000,
+        list_stacks: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,26 +45,42 @@ fn parse_args() -> Option<Options> {
             "--latency" => opts.latency = args.next()?.parse().ok()?,
             "--retire-latency" => opts.retire_latency = args.next()?.parse().ok()?,
             "--max" => opts.max = args.next()?.parse().ok()?,
+            "--list-stacks" => opts.list_stacks = true,
             path if opts.path.is_empty() && !path.starts_with('-') => {
                 opts.path = path.to_string();
             }
             _ => return None,
         }
     }
-    if opts.path.is_empty() {
+    if opts.path.is_empty() && !opts.list_stacks {
         None
     } else {
         Some(opts)
     }
 }
 
+/// Prints every statically-dispatched stack variant. The table is
+/// emitted by the stack-generating macros from the same token stream as
+/// the dispatch enums, so this listing cannot drift from the code (the
+/// CLI integration test diffs it against the library table).
+fn list_stacks() {
+    println!("available predictor stacks (variant  payload type):");
+    for variant in all_stack_variants() {
+        println!("  {:<20} {}", variant.name, variant.type_name());
+    }
+}
+
 fn main() -> ExitCode {
     let Some(opts) = parse_args() else {
         eprintln!(
-            "usage: pbpredict <file.s> [--predictor SPEC] [--latency L] [--retire-latency R] [--max N]"
+            "usage: pbpredict <file.s> [--predictor SPEC] [--latency L] [--retire-latency R] [--max N]\n       pbpredict --list-stacks"
         );
         return ExitCode::FAILURE;
     };
+    if opts.list_stacks {
+        list_stacks();
+        return ExitCode::SUCCESS;
+    }
     let text = match fs::read_to_string(&opts.path) {
         Ok(t) => t,
         Err(e) => {
@@ -75,7 +95,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec: PredictorSpec = match opts.spec.parse() {
+    let spec: ModernSpec = match opts.spec.parse() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("pbpredict: {e}");
@@ -83,7 +103,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let predictor = build_predictor(&spec);
+    let predictor = build_modern_stack(&spec);
     println!("predictor:        {}", predictor.name());
     println!("storage bits:     {}", predictor.storage_bits());
     let mut harness = PredictionHarness::new(

@@ -7,7 +7,7 @@ use std::process::Command;
 fn scratch(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!(
-        "predbranch-core-test-{}-{name}",
+        "predbranch-modern-test-{}-{name}",
         std::process::id()
     ));
     p
@@ -68,9 +68,37 @@ fn composite_spec_parses_and_runs() {
 }
 
 #[test]
+fn modern_specs_parse_and_run() {
+    let src = scratch("modern.s");
+    fs::write(&src, PROGRAM).unwrap();
+    for (spec, name) in [
+        ("tage:4/10/64", "predictor:        tage-4/10/64"),
+        (
+            "pmpp:12+sfpf+pgu8",
+            "predictor:        sfpf+pgu[d8]+pmpp-12",
+        ),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_pbpredict"))
+            .args([src.to_str().unwrap(), "--predictor", spec])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{spec}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains(name), "{spec}: {text}");
+        assert!(text.contains("cond branches:    101"), "{spec}: {text}");
+    }
+    fs::remove_file(src).ok();
+}
+
+#[test]
 fn bad_spec_is_rejected() {
     let src = scratch("badspec.s");
     fs::write(&src, PROGRAM).unwrap();
+    // `tage` is a modern base but takes three parameters
     let out = Command::new(env!("CARGO_BIN_EXE_pbpredict"))
         .args([src.to_str().unwrap(), "--predictor", "tage:9"])
         .output()
@@ -79,4 +107,32 @@ fn bad_spec_is_rejected() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("bad predictor spec"), "{err}");
     fs::remove_file(src).ok();
+}
+
+#[test]
+fn stack_listing_matches_the_generated_table() {
+    // the printed listing must be exactly the variants the stack macros
+    // emitted — one line per variant, names and payload types matching
+    let out = Command::new(env!("CARGO_BIN_EXE_pbpredict"))
+        .arg("--list-stacks")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let printed: Vec<(String, String)> = text
+        .lines()
+        .skip(1) // header
+        .map(|line| {
+            let mut cols = line.split_whitespace();
+            (
+                cols.next().unwrap().to_string(),
+                cols.next().unwrap().to_string(),
+            )
+        })
+        .collect();
+    let expected: Vec<(String, String)> = predbranch_modern::all_stack_variants()
+        .iter()
+        .map(|v| (v.name.to_string(), v.type_name()))
+        .collect();
+    assert_eq!(printed, expected, "CLI listing drifted from the enum");
 }

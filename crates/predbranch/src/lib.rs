@@ -12,6 +12,9 @@
 //!   pipeline timing model;
 //! * [`core`] — the paper's predictors: the squash false-path filter and
 //!   the predicate global-update predictor, over conventional baselines;
+//! * [`modern`] — the post-2003 tier: TAGE and a multiperspective
+//!   perceptron, each with a predicate-aware variant, asking the
+//!   paper's question against modern baselines;
 //! * [`workloads`] — eleven SPECint-2000-analog benchmarks;
 //! * [`stats`] — counters, histograms, and table/series rendering;
 //! * [`trace`] — binary trace record/replay with an on-disk trace
@@ -53,6 +56,7 @@ pub use predbranch_characterize as characterize;
 pub use predbranch_compiler as compiler;
 pub use predbranch_core as core;
 pub use predbranch_isa as isa;
+pub use predbranch_modern as modern;
 pub use predbranch_sim as sim;
 pub use predbranch_stats as stats;
 pub use predbranch_sweep as sweep;
