@@ -74,5 +74,69 @@ fn bench_live_vs_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_live_vs_replay);
+/// Gang replay over live passes: one functional simulation feeding a
+/// small lane matrix against one simulation per lane — the sweep
+/// runner's default versus its `--gang off` escape hatch, in miniature.
+fn bench_gang_vs_per_cell(c: &mut Criterion) {
+    use predbranch_core::{build_predictor_stack, GangHarness};
+    use predbranch_sim::Event;
+
+    let (program, memory, _, summary) = fixture();
+    let specs: Vec<PredictorSpec> = (10..=13)
+        .map(|bits| PredictorSpec::Gshare {
+            index_bits: bits,
+            history_bits: bits,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("gang_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        summary.instructions * specs.len() as u64,
+    ));
+
+    group.bench_function("per_cell/gzip-4-lanes", |b| {
+        b.iter(|| {
+            let mut buffer: Vec<Event> = Vec::new();
+            specs
+                .iter()
+                .map(|spec| {
+                    let mut harness = PredictionHarness::new(
+                        build_predictor_stack(spec),
+                        HarnessConfig::default(),
+                    );
+                    let summary = Executor::new(&program, memory.clone()).run_batched(
+                        &mut harness,
+                        BUDGET,
+                        &mut buffer,
+                    );
+                    assert!(summary.halted);
+                    harness.finish();
+                    harness.metrics().all.mispredictions.get()
+                })
+                .sum::<u64>()
+        })
+    });
+
+    group.bench_function("ganged/gzip-4-lanes", |b| {
+        b.iter(|| {
+            let mut gang = GangHarness::new();
+            for spec in &specs {
+                gang.push_lane(build_predictor_stack(spec), HarnessConfig::default());
+            }
+            let mut buffer: Vec<Event> = Vec::new();
+            let summary =
+                Executor::new(&program, memory.clone()).run_batched(&mut gang, BUDGET, &mut buffer);
+            assert!(summary.halted);
+            gang.into_metrics()
+                .iter()
+                .map(|m| m.all.mispredictions.get())
+                .sum::<u64>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_vs_replay, bench_gang_vs_per_cell);
 criterion_main!(benches);

@@ -21,13 +21,21 @@
 //! pipelines in the same process on the same logical stream, the
 //! prediction metrics are asserted identical (the refactor's
 //! byte-identical contract), and the result is written as
-//! `BENCH_5.json` so the perf trajectory accrues in CI.
+//! `BENCH_6.json` so the perf trajectory accrues in CI.
+//!
+//! The report's second section measures **gang replay** — the default
+//! sweep path since the gang refactor. A cache-less sweep used to pay
+//! one full functional simulation per predictor config; ganging pays
+//! one simulation per *event stream* and fans each batch into every
+//! lane of a [`GangHarness`]. The bench times a sweep-sized lane
+//! matrix both ways on a live executor pass, asserts the per-lane
+//! metrics identical, and reports the one-pass-over-per-cell speedup.
 
 use std::time::Instant;
 
 use predbranch_core::{
-    build_predictor, build_predictor_stack, HarnessConfig, InsertFilter, PredictionHarness,
-    PredictorSpec, Timing,
+    build_predictor, build_predictor_stack, GangHarness, HarnessConfig, InsertFilter,
+    PredictionHarness, PredictorSpec, Timing,
 };
 use predbranch_sim::{Event, EventSink, Executor, TraceSink, EVENT_BATCH_CAPACITY};
 use predbranch_sweep::Json;
@@ -42,6 +50,9 @@ pub const RETIRE_LATENCIES: [u64; 2] = [0, 8];
 
 /// The config whose dyn→enum speedup is the acceptance headline.
 pub const HEADLINE_CONFIG: &str = "gshare+sfpf+pgu";
+
+/// Instruction budget for every live executor pass the bench times.
+const BENCH_BUDGET: u64 = 4_000_000;
 
 /// One measured (config, retire latency) point: both pipelines, same
 /// event stream, same process.
@@ -68,6 +79,30 @@ impl BenchPoint {
     }
 }
 
+/// One measured gang point: the whole lane matrix at one retire
+/// latency, per-cell (one live functional simulation per lane — the
+/// pre-gang sweep) against ganged (one simulation feeding every lane).
+#[derive(Debug, Clone, Copy)]
+pub struct GangPoint {
+    /// Harness retire latency in fetch slots.
+    pub retire_latency: u64,
+    /// Predicted conditional branches per second across the matrix,
+    /// one live executor pass per lane.
+    pub per_cell_branches_per_sec: f64,
+    /// The same work with one live executor pass feeding every lane.
+    pub ganged_branches_per_sec: f64,
+    /// Conditional-branch mispredictions summed over the lane matrix
+    /// (asserted identical on both paths).
+    pub mispredictions: u64,
+}
+
+impl GangPoint {
+    /// ganged over per-cell throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.ganged_branches_per_sec / self.per_cell_branches_per_sec
+    }
+}
+
 /// A complete baseline: the recorded stream's shape plus every point.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -83,6 +118,10 @@ pub struct BenchReport {
     pub conditional_branches: u64,
     /// Every measured point.
     pub points: Vec<BenchPoint>,
+    /// Predictor lanes in the gang matrix.
+    pub gang_lanes: usize,
+    /// The gang-vs-per-cell measurements, one per retire latency.
+    pub gang_points: Vec<GangPoint>,
 }
 
 /// The headline predictor configs, in report order.
@@ -96,6 +135,31 @@ fn configs() -> Vec<(&'static str, PredictorSpec)> {
         ("gshare+sfpf", base.clone().with_sfpf()),
         ("gshare+pgu", base.clone().with_pgu(8)),
         (HEADLINE_CONFIG, base.with_sfpf().with_pgu(8)),
+    ]
+}
+
+/// The gang lane matrix: a sweep-sized grid of classic configs — a
+/// gshare budget ladder plus the paper's predicate structures at two
+/// budgets. Matches the shape (not the exact membership) of the grids
+/// the experiment modules sweep over one shared event stream.
+fn gang_lane_specs() -> Vec<(&'static str, PredictorSpec)> {
+    let g = |bits: u32| PredictorSpec::Gshare {
+        index_bits: bits,
+        history_bits: bits,
+    };
+    vec![
+        ("gshare:8", g(8)),
+        ("gshare:9", g(9)),
+        ("gshare:10", g(10)),
+        ("gshare:11", g(11)),
+        ("gshare:12", g(12)),
+        ("gshare:13", g(13)),
+        ("gshare:10+sfpf", g(10).with_sfpf()),
+        ("gshare:10+pgu", g(10).with_pgu(8)),
+        ("gshare:10+sfpf+pgu", g(10).with_sfpf().with_pgu(8)),
+        ("gshare:13+sfpf", g(13).with_sfpf()),
+        ("gshare:13+pgu", g(13).with_pgu(8)),
+        ("gshare:13+sfpf+pgu", g(13).with_sfpf().with_pgu(8)),
     ]
 }
 
@@ -209,23 +273,95 @@ fn replay_enum(
     *harness.metrics()
 }
 
-/// Times `iterations` runs of `f`, returning the last run's metrics
+/// Times `iterations` runs of `f`, returning the last run's result
 /// and the *minimum* per-run elapsed seconds — scheduler noise and
 /// cache pollution only ever add time, so the minimum is the robust
 /// throughput estimator on a shared machine. One untimed warmup run
 /// precedes the timed loop.
-fn time_replays<F: FnMut() -> predbranch_core::PredictionMetrics>(
-    iterations: u32,
-    mut f: F,
-) -> (predbranch_core::PredictionMetrics, f64) {
-    let mut metrics = f(); // warmup
+fn time_passes<T, F: FnMut() -> T>(iterations: u32, mut f: F) -> (T, f64) {
+    let mut result = f(); // warmup
     let mut best = f64::INFINITY;
     for _ in 0..iterations {
         let start = Instant::now();
-        metrics = f();
+        result = f();
         best = best.min(start.elapsed().as_secs_f64());
     }
-    (metrics, best)
+    (result, best)
+}
+
+/// Measures the gang matrix both ways on live executor passes: the
+/// pre-gang sweep (one functional simulation per lane) against the
+/// ganged default (one simulation whose batches feed every lane).
+///
+/// # Panics
+///
+/// Panics if any lane's metrics differ between the two paths — gang
+/// replay must be observationally invisible.
+fn run_gang_matrix(quick: bool) -> (usize, Vec<GangPoint>) {
+    let bench = &suite()[0];
+    let compiled = compile_benchmark(bench, &CompileOptions::default());
+    let program = compiled.predicated;
+    let lanes = gang_lane_specs();
+    let iterations: u32 = if quick { 3 } else { 10 };
+
+    // the stream's shape, from one untimed pass
+    let mut sink = TraceSink::new();
+    let summary = Executor::new(&program, bench.input(EVAL_SEED)).run(&mut sink, BENCH_BUDGET);
+    assert!(summary.halted, "bench workload did not halt within budget");
+    let grid_branches = (summary.conditional_branches * lanes.len() as u64) as f64;
+
+    let mut points = Vec::new();
+    for retire in RETIRE_LATENCIES {
+        let per_cell_pass = || -> Vec<predbranch_core::PredictionMetrics> {
+            lanes
+                .iter()
+                .map(|(_, spec)| {
+                    let mut harness =
+                        PredictionHarness::new(build_predictor_stack(spec), harness_config(retire));
+                    let mut buffer = Vec::new();
+                    let summary = Executor::new(&program, bench.input(EVAL_SEED)).run_batched(
+                        &mut harness,
+                        BENCH_BUDGET,
+                        &mut buffer,
+                    );
+                    assert!(summary.halted);
+                    harness.finish();
+                    *harness.metrics()
+                })
+                .collect()
+        };
+        let ganged_pass = || -> Vec<predbranch_core::PredictionMetrics> {
+            let mut gang = GangHarness::new();
+            for (_, spec) in &lanes {
+                gang.push_lane(build_predictor_stack(spec), harness_config(retire));
+            }
+            let mut buffer = Vec::new();
+            let summary = Executor::new(&program, bench.input(EVAL_SEED)).run_batched(
+                &mut gang,
+                BENCH_BUDGET,
+                &mut buffer,
+            );
+            assert!(summary.halted);
+            gang.into_metrics()
+        };
+
+        let (per_cell_metrics, per_cell_secs) = time_passes(iterations, per_cell_pass);
+        let (ganged_metrics, ganged_secs) = time_passes(iterations, ganged_pass);
+        assert_eq!(
+            per_cell_metrics, ganged_metrics,
+            "gang and per-cell paths disagree at retire {retire}"
+        );
+        points.push(GangPoint {
+            retire_latency: retire,
+            per_cell_branches_per_sec: grid_branches / per_cell_secs,
+            ganged_branches_per_sec: grid_branches / ganged_secs,
+            mispredictions: ganged_metrics
+                .iter()
+                .map(|m| m.all.mispredictions.get())
+                .sum(),
+        });
+    }
+    (lanes.len(), points)
 }
 
 /// Runs the full baseline: every config × retire latency, both
@@ -247,9 +383,9 @@ pub fn run_bench(quick: bool) -> BenchReport {
     for (name, spec) in configs() {
         for retire in RETIRE_LATENCIES {
             let (dyn_metrics, dyn_secs) =
-                time_replays(iterations, || replay_dyn(&fixture.bytes, &spec, retire));
+                time_passes(iterations, || replay_dyn(&fixture.bytes, &spec, retire));
             let (enum_metrics, enum_secs) =
-                time_replays(iterations, || replay_enum(&fixture.events, &spec, retire));
+                time_passes(iterations, || replay_enum(&fixture.events, &spec, retire));
             assert_eq!(
                 dyn_metrics, enum_metrics,
                 "pipelines disagree for {name} at retire {retire}"
@@ -264,6 +400,7 @@ pub fn run_bench(quick: bool) -> BenchReport {
             });
         }
     }
+    let (gang_lanes, gang_points) = run_gang_matrix(quick);
     BenchReport {
         benchmark: fixture.benchmark,
         quick,
@@ -271,6 +408,8 @@ pub fn run_bench(quick: bool) -> BenchReport {
         events: fixture.events.len() as u64,
         conditional_branches: branches,
         points,
+        gang_lanes,
+        gang_points,
     }
 }
 
@@ -286,7 +425,26 @@ impl BenchReport {
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Renders the machine-readable `BENCH_5.json` document.
+    /// The headline gang-replay speedup: the ganged-over-per-cell
+    /// ratio at retire latency 0 — the sweep's default timing
+    /// ([`predbranch_core::Timing::immediate`]), i.e. the shape every
+    /// `experiments all` sweep actually runs, and the number the
+    /// acceptance gate reads out of `BENCH_6.json`. Falls back to the
+    /// minimum across points if no retire-0 point was measured.
+    pub fn gang_speedup(&self) -> f64 {
+        self.gang_points
+            .iter()
+            .find(|p| p.retire_latency == 0)
+            .map(GangPoint::speedup)
+            .unwrap_or_else(|| {
+                self.gang_points
+                    .iter()
+                    .map(GangPoint::speedup)
+                    .fold(f64::INFINITY, f64::min)
+            })
+    }
+
+    /// Renders the machine-readable `BENCH_6.json` document.
     pub fn to_json(&self) -> Json {
         let results = self
             .points
@@ -301,8 +459,20 @@ impl BenchReport {
                     .field("mispredictions", p.mispredictions)
             })
             .collect();
+        let gang_results = self
+            .gang_points
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .field("retire_latency", p.retire_latency)
+                    .field("per_cell_branches_per_sec", p.per_cell_branches_per_sec)
+                    .field("ganged_branches_per_sec", p.ganged_branches_per_sec)
+                    .field("speedup", p.speedup())
+                    .field("mispredictions", p.mispredictions)
+            })
+            .collect();
         Json::obj()
-            .field("schema", "predbranch-bench/v1")
+            .field("schema", "predbranch-bench/v2")
             .field("benchmark", self.benchmark.as_str())
             .field("quick", self.quick)
             .field("iterations", u64::from(self.iterations))
@@ -314,6 +484,13 @@ impl BenchReport {
                 Json::obj()
                     .field("config", HEADLINE_CONFIG)
                     .field("speedup", self.headline_speedup()),
+            )
+            .field(
+                "gang",
+                Json::obj()
+                    .field("lanes", self.gang_lanes as u64)
+                    .field("results", Json::Arr(gang_results))
+                    .field("speedup", self.gang_speedup()),
             )
     }
 
@@ -346,6 +523,33 @@ impl BenchReport {
             out,
             "headline ({HEADLINE_CONFIG}): {:.2}x enum over dyn",
             self.headline_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "gang replay · {} lanes · one live pass vs one pass per lane",
+            self.gang_lanes
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6} {:>14} {:>14} {:>8}",
+            "", "retire", "per-cell br/s", "ganged br/s", "speedup"
+        );
+        for p in &self.gang_points {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>6} {:>14.0} {:>14.0} {:>7.2}x",
+                "gang matrix",
+                p.retire_latency,
+                p.per_cell_branches_per_sec,
+                p.ganged_branches_per_sec,
+                p.speedup()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "gang headline: {:.2}x one ganged pass over per-cell passes \
+             at the sweep default timing (retire 0)",
+            self.gang_speedup()
         );
         out
     }
@@ -394,12 +598,29 @@ mod tests {
                 enum_branches_per_sec: 2.5,
                 mispredictions: 1,
             }],
+            gang_lanes: 12,
+            gang_points: vec![
+                GangPoint {
+                    retire_latency: 0,
+                    per_cell_branches_per_sec: 1.0,
+                    ganged_branches_per_sec: 5.0,
+                    mispredictions: 3,
+                },
+                GangPoint {
+                    retire_latency: 8,
+                    per_cell_branches_per_sec: 1.0,
+                    ganged_branches_per_sec: 4.0,
+                    mispredictions: 3,
+                },
+            ],
         };
         assert!((report.headline_speedup() - 2.5).abs() < 1e-9);
+        // the gate reads the retire-0 (sweep default timing) gang ratio
+        assert!((report.gang_speedup() - 5.0).abs() < 1e-9);
         let json = report.to_json();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
-            Some("predbranch-bench/v1")
+            Some("predbranch-bench/v2")
         );
         assert_eq!(
             json.get("results").and_then(Json::as_arr).map(<[_]>::len),
@@ -413,5 +634,24 @@ mod tests {
                 .and_then(Json::as_str),
             Some(HEADLINE_CONFIG)
         );
+        let gang = parsed.get("gang").unwrap();
+        assert_eq!(gang.get("lanes").and_then(Json::as_u64), Some(12));
+        assert_eq!(
+            gang.get("results").and_then(Json::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+        assert!(gang.get("speedup").is_some());
+    }
+
+    #[test]
+    fn gang_matrix_is_sweep_sized() {
+        // the speedup claim only means something against a realistic
+        // grid: at least a dozen lanes, all distinct
+        let lanes = gang_lane_specs();
+        assert!(lanes.len() >= 12, "matrix too small: {}", lanes.len());
+        let mut specs: Vec<String> = lanes.iter().map(|(_, s)| format!("{s:?}")).collect();
+        specs.sort();
+        specs.dedup();
+        assert_eq!(specs.len(), lanes.len(), "duplicate lanes in the matrix");
     }
 }

@@ -26,18 +26,22 @@
 //!                            # trait-object path instead of the
 //!                            # statically-dispatched enum stack
 //!                            # (identical output, for A/B checks)
+//! experiments --gang off all # run one replay pass per cell instead of
+//!                            # ganging stream-sharing cells into one
+//!                            # pass (identical output, for A/B checks)
 //! experiments --list-stacks  # list every statically-dispatched
 //!                            # predictor stack (generated from the
 //!                            # stack macros, never hand-maintained)
 //! experiments bench --json --quick
 //!                            # measure replay throughput (dyn vs enum,
-//!                            # retire 0 and 8) and write BENCH_5.json
+//!                            # gang vs per-cell, retire 0 and 8) and
+//!                            # write BENCH_6.json
 //! ```
 
 use std::process::ExitCode;
 
 use predbranch_bench::experiments::find_experiment;
-use predbranch_bench::runner::{Dispatch, RunContext};
+use predbranch_bench::runner::{Dispatch, Gang, RunContext};
 use predbranch_bench::{all_experiments, benchmode, Scale};
 use predbranch_sweep::ManifestBuilder;
 
@@ -76,17 +80,18 @@ fn main() -> ExitCode {
             None => Ok(None),
         }
     };
-    let (trace_cache, jobs, manifest_path, checkpoint_path, retire, dispatch, out) = match (
+    let (trace_cache, jobs, manifest_path, checkpoint_path, retire, dispatch, gang, out) = match (
         valued("--trace-cache"),
         valued("--jobs"),
         valued("--manifest"),
         valued("--checkpoint"),
         valued("--retire-latency"),
         valued("--dispatch"),
+        valued("--gang"),
         valued("--out"),
     ) {
-        (Ok(tc), Ok(j), Ok(m), Ok(c), Ok(r), Ok(d), Ok(o)) => (tc, j, m, c, r, d, o),
-        (tc, j, m, c, r, d, o) => {
+        (Ok(tc), Ok(j), Ok(m), Ok(c), Ok(r), Ok(d), Ok(g), Ok(o)) => (tc, j, m, c, r, d, g, o),
+        (tc, j, m, c, r, d, g, o) => {
             for err in [
                 tc.err(),
                 j.err(),
@@ -94,6 +99,7 @@ fn main() -> ExitCode {
                 c.err(),
                 r.err(),
                 d.err(),
+                g.err(),
                 o.err(),
             ]
             .into_iter()
@@ -125,13 +131,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let gang: Gang = match gang.as_deref().map(str::parse).transpose() {
+        Ok(g) => g.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("--gang: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if args.iter().any(|a| a == "bench") {
         eprintln!("running bench — replay throughput baseline ...");
         let report = benchmode::run_bench(quick);
         print!("{}", report.to_text());
         if json {
-            let path = out.as_deref().unwrap_or("BENCH_5.json");
+            let path = out.as_deref().unwrap_or("BENCH_6.json");
             let body = format!("{}\n", report.to_json().render());
             if let Err(e) = std::fs::write(path, body) {
                 eprintln!("cannot write {path}: {e}");
@@ -142,7 +155,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let mut ctx = RunContext::new().with_jobs(jobs).with_dispatch(dispatch);
+    let mut ctx = RunContext::new()
+        .with_jobs(jobs)
+        .with_dispatch(dispatch)
+        .with_gang(gang);
     if let Some(dir) = &trace_cache {
         ctx = match ctx.with_trace_cache(dir) {
             Ok(ctx) => ctx,
@@ -184,9 +200,9 @@ fn main() -> ExitCode {
         println!("experiments — regenerate the study's tables and figures\n");
         println!(
             "usage: experiments [--quick] [--jobs N] [--retire-latency R] \
-             [--dispatch enum|dyn] [--trace-cache <dir>] [--manifest <file>] \
-             [--checkpoint <file>] <id>... | all | bench [--json] [--out <file>] \
-             | --list-stacks\n"
+             [--dispatch enum|dyn] [--gang on|off] [--trace-cache <dir>] \
+             [--manifest <file>] [--checkpoint <file>] <id>... | all \
+             | bench [--json] [--out <file>] | --list-stacks\n"
         );
         for exp in all_experiments() {
             println!("  {:<4} {}", exp.id, exp.title);
@@ -234,6 +250,12 @@ fn main() -> ExitCode {
             "trace cache: {} replays, {} recordings",
             stats.replays, stats.recordings
         );
+        if let Some(memo) = ctx.memo_stats() {
+            eprintln!(
+                "decode memo: {} hits, {} misses, {} evictions (capacity {})",
+                memo.hits, memo.misses, memo.evictions, memo.capacity
+            );
+        }
     }
     if checkpoint_path.is_some() && stats.checkpoint_hits > 0 {
         eprintln!(

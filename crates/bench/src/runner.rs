@@ -17,14 +17,16 @@
 //! that vector is byte-identical to the sequential loop it replaced, at
 //! any `--jobs N`.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use predbranch_core::{
-    build_predictor, build_predictor_stack, BranchPredictor, HarnessConfig, InsertFilter,
-    PredictionHarness, PredictionMetrics, PredictorSpec, Timing,
+    build_predictor, build_predictor_stack, BranchPredictor, GangHarness, HarnessConfig,
+    InsertFilter, PredictionHarness, PredictionMetrics, PredictorSpec, Timing,
 };
 use predbranch_isa::Program;
 use predbranch_modern::{build_modern, build_modern_stack, ModernSpec};
@@ -75,6 +77,40 @@ impl std::str::FromStr for Dispatch {
             "enum" => Ok(Dispatch::Enum),
             "dyn" => Ok(Dispatch::Dyn),
             other => Err(format!("unknown dispatch `{other}` (expected enum|dyn)")),
+        }
+    }
+}
+
+/// Whether [`RunContext::run_cells`] gangs cells that share an event
+/// stream into one replay pass.
+///
+/// With gang replay **on** (the default), cells are grouped by
+/// (benchmark stream, timing) into units; each unit decodes/executes
+/// its stream once and feeds every member cell as an independent
+/// [`GangHarness`] lane. Lanes share nothing but the unit's predicate
+/// scoreboard — identical by construction to the one each solo pass
+/// would build (grouping by timing guarantees a common resolve
+/// latency) — so outcomes are byte-identical to the per-cell path.
+/// `Off` exists as the A/B escape hatch mirroring `--dispatch
+/// enum|dyn`, and the property suite diffs the two paths
+/// outcome-for-outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Gang {
+    /// Group stream-sharing cells into one gang pass (the default).
+    #[default]
+    On,
+    /// One full replay/execution pass per cell — the pre-gang shape.
+    Off,
+}
+
+impl std::str::FromStr for Gang {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "on" => Ok(Gang::On),
+            "off" => Ok(Gang::Off),
+            other => Err(format!("unknown gang mode `{other}` (expected on|off)")),
         }
     }
 }
@@ -267,6 +303,14 @@ impl CellSpec {
         }
         format!("v2-{digest:016x}")
     }
+
+    /// The harness configuration this cell's lane runs under.
+    fn harness_config(&self) -> HarnessConfig {
+        HarnessConfig {
+            timing: self.timing,
+            insert: self.insert.clone(),
+        }
+    }
 }
 
 /// Sweep-level counters (all monotone, all thread-safe).
@@ -312,6 +356,7 @@ pub struct RunContext {
     counters: Arc<RunCounters>,
     suites: Arc<Mutex<SuiteMemo>>,
     dispatch: Dispatch,
+    gang: Gang,
 }
 
 impl RunContext {
@@ -373,6 +418,19 @@ impl RunContext {
         self.dispatch
     }
 
+    /// Selects the replay grouping mode (default [`Gang::On`]).
+    /// Outcomes are identical under both; only the number of decode /
+    /// execution passes differs.
+    pub fn with_gang(mut self, gang: Gang) -> Self {
+        self.gang = gang;
+        self
+    }
+
+    /// The configured replay grouping mode.
+    pub fn gang(&self) -> Gang {
+        self.gang
+    }
+
     /// The configured parallelism.
     pub fn jobs(&self) -> usize {
         self.pool.as_ref().map_or(1, |pool| pool.jobs())
@@ -408,6 +466,13 @@ impl RunContext {
     pub fn cache_stats(&self) -> (u64, u64) {
         let stats = self.stats();
         (stats.replays, stats.recordings)
+    }
+
+    /// Decoded-event memo traffic of the attached trace cache (`None`
+    /// without one) — hit/miss/eviction counters that expose thrash at
+    /// the memo's stream bound.
+    pub fn memo_stats(&self) -> Option<predbranch_trace::MemoStats> {
+        self.cache.as_ref().map(TraceCache::memo_stats)
     }
 
     /// The compiled suite, memoized per `limit` so a multi-experiment
@@ -463,7 +528,19 @@ impl RunContext {
     /// returns outcomes **in submission order** — the vector is
     /// positionally identical to `cells.iter().map(|c|
     /// ctx.run_cell(c))` at any worker count.
+    ///
+    /// Under [`Gang::On`] (the default), cells sharing an event stream
+    /// and timing are grouped into gang units and each unit replays its
+    /// stream **once**, feeding every member cell as an independent
+    /// [`GangHarness`] lane; the scheduling unit on the worker pool is
+    /// then the gang unit, not the cell. Per-cell outcomes, cache keys,
+    /// checkpoint records, and manifest records are unchanged — only
+    /// the number of decode/execution passes (and thus the
+    /// replay/record/live counters, which count passes) differs.
     pub fn run_cells(&self, cells: Vec<CellSpec>) -> Vec<RunOutcome> {
+        if self.gang == Gang::On {
+            return self.run_cells_ganged(cells);
+        }
         match &self.pool {
             Some(pool) if cells.len() > 1 => {
                 let jobs = cells
@@ -479,6 +556,131 @@ impl RunContext {
             }
             _ => cells.iter().map(|cell| self.run_cell(cell)).collect(),
         }
+    }
+
+    /// The gang-replay grid path: checkpoint lookups per cell, then one
+    /// replay pass per (stream, timing) unit, results scattered back to
+    /// submission order.
+    fn run_cells_ganged(&self, cells: Vec<CellSpec>) -> Vec<RunOutcome> {
+        let mut slots: Vec<Option<RunOutcome>> = vec![None; cells.len()];
+
+        // Checkpoint restores stay per-cell: a resumed sweep skips
+        // exactly the cells it completed, and a unit re-runs only its
+        // missing lanes.
+        let mut pending: Vec<(usize, CellSpec)> = Vec::new();
+        for (index, cell) in cells.into_iter().enumerate() {
+            if let Some(checkpoint) = &self.checkpoint {
+                let key = cell.key();
+                if let Some(outcome) = checkpoint.lookup(&key).and_then(outcome_from_json) {
+                    self.counters
+                        .checkpoint_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.record_manifest(&cell, &key, 0, CellSource::Checkpoint);
+                    slots[index] = Some(outcome);
+                    continue;
+                }
+            }
+            pending.push((index, cell));
+        }
+
+        // Group by (stream identity, timing) in first-appearance order.
+        // The content hashes — not just the cache label — define the
+        // stream, so two cells gang only if they replay byte-identical
+        // events; timing joins the key per the grouping rule even
+        // though lanes carry private scoreboards, keeping a unit's
+        // lanes directly comparable.
+        let mut units: Vec<Vec<(usize, CellSpec)>> = Vec::new();
+        let mut by_stream: HashMap<(String, u64, u64, Timing), usize> = HashMap::new();
+        for (index, cell) in pending {
+            let stream = (
+                cell.cache_label.clone(),
+                program_hash(&cell.program),
+                memory_fingerprint(&cell.memory),
+                cell.timing,
+            );
+            match by_stream.entry(stream) {
+                Entry::Occupied(slot) => units[*slot.get()].push((index, cell)),
+                Entry::Vacant(slot) => {
+                    slot.insert(units.len());
+                    units.push(vec![(index, cell)]);
+                }
+            }
+        }
+
+        let unit_outcomes: Vec<Vec<(usize, RunOutcome)>> = match &self.pool {
+            Some(pool) if units.len() > 1 => {
+                let jobs = units
+                    .into_iter()
+                    .map(|unit| {
+                        let ctx = self.clone();
+                        let job: Box<dyn FnOnce() -> Vec<(usize, RunOutcome)> + Send> =
+                            Box::new(move || ctx.run_gang_unit(&unit));
+                        job
+                    })
+                    .collect();
+                pool.run_batch(jobs)
+            }
+            _ => units.iter().map(|unit| self.run_gang_unit(unit)).collect(),
+        };
+        for (index, outcome) in unit_outcomes.into_iter().flatten() {
+            slots[index] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every submitted cell resolves to an outcome"))
+            .collect()
+    }
+
+    /// Runs one gang unit — cells sharing a (stream, timing) — with a
+    /// single replay/execution pass, then journals and records each
+    /// member under its own per-cell key.
+    fn run_gang_unit(&self, unit: &[(usize, CellSpec)]) -> Vec<(usize, RunOutcome)> {
+        let started = Instant::now();
+        let (outcomes, source) = match self.dispatch {
+            Dispatch::Enum => self.gang_with(build_modern_stack, unit),
+            Dispatch::Dyn => self.gang_with(build_modern, unit),
+        };
+        let wall_ms = started.elapsed().as_millis() as u64;
+        unit.iter()
+            .zip(&outcomes)
+            .map(|((index, cell), outcome)| {
+                let key = cell.key();
+                if let Some(checkpoint) = &self.checkpoint {
+                    if let Err(e) = checkpoint.record(&key, wall_ms, &outcome_to_json(outcome)) {
+                        eprintln!(
+                            "warning: checkpoint append failed for {} ({e}); cell will re-run on resume",
+                            cell.label
+                        );
+                    }
+                }
+                self.record_manifest(cell, &key, wall_ms, source);
+                (*index, *outcome)
+            })
+            .collect()
+    }
+
+    /// Builds the lane bank for `unit` (one predictor per member cell,
+    /// monomorphized per dispatch path) and drives all lanes from one
+    /// pass over the unit's stream. Outcomes are returned in unit
+    /// order.
+    fn gang_with<P: BranchPredictor>(
+        &self,
+        build: impl Fn(&ModernSpec) -> P,
+        unit: &[(usize, CellSpec)],
+    ) -> (Vec<RunOutcome>, CellSource) {
+        let mut gang = GangHarness::new();
+        for (_, cell) in unit {
+            gang.push_lane(build(&cell.spec), cell.harness_config());
+        }
+        let lead = &unit[0].1;
+        let (summary, source) =
+            self.deliver(&lead.cache_label, &lead.program, &lead.memory, &mut gang);
+        let outcomes = gang
+            .into_metrics()
+            .into_iter()
+            .map(|metrics| RunOutcome { metrics, summary })
+            .collect();
+        (outcomes, source)
     }
 
     /// Runs arbitrary owned jobs on the pool (sequentially without
@@ -515,28 +717,55 @@ impl RunContext {
         memory: &Memory,
         sink: &mut S,
     ) -> RunSummary {
-        let summary = match &self.cache {
+        self.deliver(cache_label, program, memory, sink).0
+    }
+
+    /// The one stream-delivery primitive every run path shares: one
+    /// decode/execution pass over (program, memory) at the cell budget,
+    /// through the trace cache when attached (recording on first touch)
+    /// and the live batched executor otherwise. Exactly one pass
+    /// counter — replays, recordings, or live_runs — moves per call, so
+    /// the counters report *passes*, which the gang path amortizes
+    /// across its lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails to halt within the budget, or on
+    /// trace-cache I/O failure.
+    fn deliver<S: EventSink>(
+        &self,
+        cache_label: &str,
+        program: &Program,
+        memory: &Memory,
+        sink: &mut S,
+    ) -> (RunSummary, CellSource) {
+        let (summary, source) = match &self.cache {
             Some(cache) => {
                 let key = CacheKey::for_run(cache_label, program, memory, CELL_BUDGET);
                 let (summary, hit) = cache
                     .replay_or_record(&key, program, memory.clone(), CELL_BUDGET, sink)
                     .expect("trace cache I/O failed");
-                let counter = if hit {
-                    &self.counters.replays
+                if hit {
+                    self.counters.replays.fetch_add(1, Ordering::Relaxed);
+                    (summary, CellSource::Replayed)
                 } else {
-                    &self.counters.recordings
-                };
-                counter.fetch_add(1, Ordering::Relaxed);
-                summary
+                    self.counters.recordings.fetch_add(1, Ordering::Relaxed);
+                    (summary, CellSource::Recorded)
+                }
             }
             None => {
                 self.counters.live_runs.fetch_add(1, Ordering::Relaxed);
                 let mut buffer: Vec<Event> = Vec::with_capacity(EVENT_BATCH_CAPACITY);
-                Executor::new(program, memory.clone()).run_batched(sink, CELL_BUDGET, &mut buffer)
+                let summary = Executor::new(program, memory.clone()).run_batched(
+                    sink,
+                    CELL_BUDGET,
+                    &mut buffer,
+                );
+                (summary, CellSource::Live)
             }
         };
         assert!(summary.halted, "experiment program did not halt");
-        summary
+        (summary, source)
     }
 
     fn execute(&self, cell: &CellSpec) -> (RunOutcome, CellSource) {
@@ -556,46 +785,9 @@ impl RunContext {
         predictor: P,
         cell: &CellSpec,
     ) -> (RunOutcome, CellSource) {
-        let mut harness = PredictionHarness::new(
-            predictor,
-            HarnessConfig {
-                timing: cell.timing,
-                insert: cell.insert.clone(),
-            },
-        );
-        let (summary, source) = match &self.cache {
-            Some(cache) => {
-                let key =
-                    CacheKey::for_run(&cell.cache_label, &cell.program, &cell.memory, CELL_BUDGET);
-                let (summary, hit) = cache
-                    .replay_or_record(
-                        &key,
-                        &cell.program,
-                        cell.memory.clone(),
-                        CELL_BUDGET,
-                        &mut harness,
-                    )
-                    .expect("trace cache I/O failed");
-                if hit {
-                    self.counters.replays.fetch_add(1, Ordering::Relaxed);
-                    (summary, CellSource::Replayed)
-                } else {
-                    self.counters.recordings.fetch_add(1, Ordering::Relaxed);
-                    (summary, CellSource::Recorded)
-                }
-            }
-            None => {
-                self.counters.live_runs.fetch_add(1, Ordering::Relaxed);
-                let mut buffer: Vec<Event> = Vec::with_capacity(EVENT_BATCH_CAPACITY);
-                let summary = Executor::new(&cell.program, cell.memory.clone()).run_batched(
-                    &mut harness,
-                    CELL_BUDGET,
-                    &mut buffer,
-                );
-                (summary, CellSource::Live)
-            }
-        };
-        assert!(summary.halted, "experiment program did not halt");
+        let mut harness = PredictionHarness::new(predictor, cell.harness_config());
+        let (summary, source) =
+            self.deliver(&cell.cache_label, &cell.program, &cell.memory, &mut harness);
         harness.finish();
         (
             RunOutcome {
@@ -653,27 +845,36 @@ pub fn run_spec_dispatch(
     insert: InsertFilter,
     dispatch: Dispatch,
 ) -> RunOutcome {
-    fn with<P: BranchPredictor>(
-        predictor: P,
-        program: &Program,
-        memory: Memory,
-        timing: Timing,
-        insert: InsertFilter,
-    ) -> RunOutcome {
-        let mut harness = PredictionHarness::new(predictor, HarnessConfig { timing, insert });
-        let mut buffer = Vec::with_capacity(EVENT_BATCH_CAPACITY);
-        let summary =
-            Executor::new(program, memory).run_batched(&mut harness, CELL_BUDGET, &mut buffer);
-        assert!(summary.halted, "experiment program did not halt");
-        harness.finish();
-        RunOutcome {
-            metrics: *harness.metrics(),
-            summary,
-        }
-    }
     match dispatch {
-        Dispatch::Enum => with(build_predictor_stack(spec), program, memory, timing, insert),
-        Dispatch::Dyn => with(build_predictor(spec), program, memory, timing, insert),
+        Dispatch::Enum => run_live(build_predictor_stack(spec), program, memory, timing, insert),
+        Dispatch::Dyn => run_live(build_predictor(spec), program, memory, timing, insert),
+    }
+}
+
+/// The shared live-run primitive under both `run_spec*` wrappers: one
+/// batched execution pass driving `predictor` through a fresh harness.
+/// Monomorphized per predictor shape so the enum stack's calls inline.
+///
+/// # Panics
+///
+/// Panics if the program fails to halt within the suite instruction
+/// budget.
+fn run_live<P: BranchPredictor>(
+    predictor: P,
+    program: &Program,
+    memory: Memory,
+    timing: Timing,
+    insert: InsertFilter,
+) -> RunOutcome {
+    let mut harness = PredictionHarness::new(predictor, HarnessConfig { timing, insert });
+    let mut buffer = Vec::with_capacity(EVENT_BATCH_CAPACITY);
+    let summary =
+        Executor::new(program, memory).run_batched(&mut harness, CELL_BUDGET, &mut buffer);
+    assert!(summary.halted, "experiment program did not halt");
+    harness.finish();
+    RunOutcome {
+        metrics: *harness.metrics(),
+        summary,
     }
 }
 

@@ -4,7 +4,7 @@
 //! trace cache.
 
 use predbranch_bench::experiments::find_experiment;
-use predbranch_bench::{CellSpec, RunContext, Scale, DEFAULT_LATENCY};
+use predbranch_bench::{CellSpec, Gang, RunContext, Scale, DEFAULT_LATENCY};
 use predbranch_core::{InsertFilter, Timing};
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
@@ -84,16 +84,30 @@ fn experiment_artifacts_are_jobs_invariant() {
 #[test]
 fn trace_cache_replays_are_jobs_invariant_and_counted() {
     let dir = tmp_dir("cache");
+    // ganged (default): 2 benchmarks × 4 specs collapse into 2 gang
+    // units, so the cold sweep records each stream once and replays
+    // nothing — the counters count *passes*, not cells
     let warm = RunContext::new().with_trace_cache(&dir).unwrap();
     let outs_warm = warm.run_cells(grid(&warm));
-    // 2 benchmarks × 4 specs over the same (binary, input): at most 2
-    // distinct traces exist, so at least 6 of 8 runs replay even on the
-    // cold pass
     let stats = warm.stats();
-    assert_eq!(stats.replays + stats.recordings, 8);
-    assert!(stats.recordings >= 2, "{stats:?}");
-    assert!(stats.replays >= 6, "{stats:?}");
+    assert_eq!((stats.replays, stats.recordings), (0, 2), "{stats:?}");
 
+    // the per-cell escape hatch against the now-warm cache: one replay
+    // pass per cell, outcomes identical to the ganged pass
+    let per_cell = RunContext::new()
+        .with_gang(Gang::Off)
+        .with_trace_cache(&dir)
+        .unwrap();
+    let outs_per_cell = per_cell.run_cells(grid(&per_cell));
+    assert_eq!(outs_warm, outs_per_cell);
+    let stats = per_cell.stats();
+    assert_eq!(
+        (stats.replays, stats.recordings),
+        (8, 0),
+        "a warm cache must satisfy every cell"
+    );
+
+    // warm + parallel + ganged: one replay per unit, same outcomes
     let parallel = RunContext::new()
         .with_jobs(4)
         .with_trace_cache(&dir)
@@ -103,10 +117,47 @@ fn trace_cache_replays_are_jobs_invariant_and_counted() {
     let stats = parallel.stats();
     assert_eq!(
         (stats.replays, stats.recordings),
-        (8, 0),
-        "a warm cache must satisfy every cell"
+        (2, 0),
+        "a warm cache must satisfy every unit"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gang_escape_hatch_matches_ganged_outcomes() {
+    let ganged = RunContext::new();
+    let per_cell = RunContext::new().with_gang(Gang::Off);
+    let outs_ganged = ganged.run_cells(grid(&ganged));
+    assert_eq!(outs_ganged, per_cell.run_cells(grid(&per_cell)));
+    // 2 streams → 2 gang passes; the escape hatch runs all 8 cells
+    assert_eq!(ganged.stats().live_runs, 2);
+    assert_eq!(per_cell.stats().live_runs, 8);
+}
+
+#[test]
+fn gang_units_group_by_stream_and_timing() {
+    let ctx = RunContext::new();
+    let entries = ctx.suite(Some(1));
+    let base = predbranch_core::PredictorSpec::Gshare {
+        index_bits: 13,
+        history_bits: 13,
+    };
+    let mut cells = Vec::new();
+    // one benchmark, two timings, two specs each: timing splits the
+    // stream into two units even though the events are identical
+    for retire in [0, 8] {
+        for spec in [base.clone(), base.clone().with_sfpf()] {
+            cells.push(CellSpec::predicated(
+                entries.first().unwrap(),
+                format!("timing/{retire}"),
+                &spec,
+                Timing::new(DEFAULT_LATENCY, retire),
+                InsertFilter::All,
+            ));
+        }
+    }
+    ctx.run_cells(cells);
+    assert_eq!(ctx.stats().live_runs, 2, "one pass per (stream, timing)");
 }
 
 #[test]
@@ -121,7 +172,8 @@ fn checkpoint_resume_skips_completed_cells() {
     let half: Vec<CellSpec> = full_grid[..4].to_vec();
     let half_outs = first.run_cells(half);
     assert_eq!(first.stats().checkpoint_hits, 0);
-    assert_eq!(first.stats().live_runs, 4);
+    // the four completed cells share one stream: one ganged pass
+    assert_eq!(first.stats().live_runs, 1);
     drop(first);
 
     // resumed sweep over the whole grid: the four completed cells are
@@ -133,7 +185,9 @@ fn checkpoint_resume_skips_completed_cells() {
     assert_eq!(resumed.checkpoint_loaded(), Some(4));
     let outs = resumed.run_cells(grid(&resumed));
     assert_eq!(resumed.stats().checkpoint_hits, 4);
-    assert_eq!(resumed.stats().live_runs, 4);
+    // the four cells that still need running share the second
+    // benchmark's stream: one ganged pass
+    assert_eq!(resumed.stats().live_runs, 1);
     assert_eq!(
         &outs[..4],
         &half_outs[..],

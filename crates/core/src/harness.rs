@@ -88,6 +88,182 @@ struct InFlightBranch {
     taken: bool,
 }
 
+/// Everything a prediction lane owns *except* the predicate
+/// scoreboard: predictor stack, insert filter, metrics, optional
+/// timeline, and the in-flight branch window.
+///
+/// The scoreboard is factored out because its state is a pure function
+/// of the event stream and the resolve latency — it never depends on
+/// the predictor. A [`PredictionHarness`] pairs one lane with its own
+/// scoreboard; a [`GangHarness`] advances many lanes against a single
+/// shared scoreboard, which is the bulk of gang replay's win (predicate
+/// writes outnumber branches in predicated code, and each one costs a
+/// scoreboard query + record).
+#[derive(Debug)]
+struct Lane<P> {
+    predictor: P,
+    /// The configured [`InsertFilter`], lowered at construction to a
+    /// sorted-slice form so the per-event check needs no hashing.
+    insert: LoweredFilter,
+    metrics: PredictionMetrics,
+    timeline: Option<FetchTimeline>,
+    retire_latency: u64,
+    window: Ring<InFlightBranch, WINDOW_CAPACITY>,
+    flush_pending: bool,
+}
+
+impl<P: BranchPredictor> Lane<P> {
+    fn new(predictor: P, config: &HarnessConfig) -> Self {
+        Lane {
+            predictor,
+            insert: config.insert.lower(),
+            metrics: PredictionMetrics::default(),
+            timeline: None,
+            retire_latency: config.timing.retire_latency,
+            window: Ring::new(),
+            flush_pending: false,
+        }
+    }
+
+    /// Retires the oldest in-flight branch: `squash` (on a
+    /// misprediction) then `commit`.
+    fn retire_front(&mut self, scoreboard: &PredicateScoreboard) {
+        if let Some(entry) = self.window.pop_front() {
+            if entry.predicted != entry.taken {
+                self.predictor.squash(&entry.info, entry.taken, scoreboard);
+            }
+            self.predictor.commit(&entry.info, entry.taken, scoreboard);
+        }
+    }
+
+    /// Retires the whole window after a misprediction (the pipeline
+    /// flush that resolves the mispredicted branch).
+    #[cold]
+    fn flush_window(&mut self, scoreboard: &PredicateScoreboard) {
+        while !self.window.is_empty() {
+            self.retire_front(scoreboard);
+        }
+        self.flush_pending = false;
+    }
+
+    /// Retires every branch whose retire latency has elapsed by
+    /// `fetch_index` — or the whole window if a misprediction flush is
+    /// pending.
+    #[inline]
+    fn drain_ready(&mut self, fetch_index: u64, scoreboard: &PredicateScoreboard) {
+        if self.flush_pending {
+            self.flush_window(scoreboard);
+            return;
+        }
+        while let Some(entry) = self.window.front() {
+            if entry.info.index + self.retire_latency > fetch_index {
+                break;
+            }
+            self.retire_front(scoreboard);
+        }
+    }
+
+    fn finish(&mut self, scoreboard: &PredicateScoreboard) {
+        while !self.window.is_empty() {
+            self.retire_front(scoreboard);
+        }
+        self.flush_pending = false;
+    }
+
+    #[inline]
+    fn instruction(&mut self) {
+        if let Some(timeline) = &mut self.timeline {
+            timeline.instruction();
+        }
+    }
+
+    /// Processes a conditional branch. `guard_known_false` is the
+    /// scoreboard's verdict on the branch's guard at its fetch index —
+    /// hoisted to the caller because a gang computes it once for all
+    /// lanes (the scoreboard never mutates during branch processing).
+    fn branch(
+        &mut self,
+        event: &BranchEvent,
+        scoreboard: &PredicateScoreboard,
+        guard_known_false: bool,
+    ) {
+        if self.retire_latency != 0 {
+            self.drain_ready(event.index, scoreboard);
+        }
+        let info = BranchInfo::from_event(event);
+        let predicted = self.predictor.predict(&info, scoreboard);
+        let correct = predicted == event.taken;
+
+        self.metrics.all.record(correct);
+        if event.region.is_some() {
+            self.metrics.region.record(correct);
+        } else {
+            self.metrics.non_region.record(correct);
+        }
+        if guard_known_false {
+            self.metrics.known_false_guard.increment();
+            if !correct {
+                self.metrics.known_false_mispredicted.increment();
+            }
+        }
+
+        if let Some(timeline) = &mut self.timeline {
+            if !correct {
+                timeline.mispredict();
+            } else if event.taken {
+                timeline.taken_branch();
+            }
+        }
+
+        self.predictor.speculate(&info, predicted, scoreboard);
+        if self.retire_latency == 0 {
+            // Immediate-update fast path: with retire latency 0 the
+            // branch would be drained by the very next event (indices
+            // are strictly increasing), so the window never holds an
+            // entry between events. Retiring inline — squash (on a
+            // misprediction) then commit, exactly what `drain_ready`
+            // would do — produces the identical predictor call
+            // sequence while skipping all window bookkeeping (pinned
+            // by the window_props suite at retire 0).
+            if !correct {
+                self.predictor.squash(&info, event.taken, scoreboard);
+            }
+            self.predictor.commit(&info, event.taken, scoreboard);
+            return;
+        }
+        if self.window.len() >= WINDOW_CAPACITY {
+            // bounded reorder buffer: make room by retiring the oldest
+            self.retire_front(scoreboard);
+        }
+        self.window.push_back(InFlightBranch {
+            info,
+            predicted,
+            taken: event.taken,
+        });
+        if !correct {
+            self.flush_pending = true;
+        }
+    }
+
+    /// Processes a predicate write against the *pre-write* scoreboard.
+    /// The caller observes the event on the scoreboard afterwards —
+    /// retiring first keeps the scoreboard (and any PGU insertion)
+    /// reflecting the pre-write world when older branches commit, and
+    /// [`BranchPredictor::on_pred_write`] never reads the scoreboard,
+    /// so observing after it is indistinguishable. At retire 0 the
+    /// window is provably empty (branches retire inline), so there is
+    /// nothing to drain.
+    fn pred_write(&mut self, event: &PredWriteEvent, scoreboard: &PredicateScoreboard) {
+        if self.retire_latency != 0 {
+            self.drain_ready(event.index, scoreboard);
+        }
+        self.metrics.pred_writes.increment();
+        if self.insert.passes(event) {
+            self.predictor.on_pred_write(event);
+        }
+    }
+}
+
 /// An [`EventSink`] that runs the full prediction methodology around an
 /// in-flight branch window: for each conditional branch, query the
 /// predictor at fetch (with the scoreboard reflecting resolved predicate
@@ -115,30 +291,16 @@ struct InFlightBranch {
 /// Unconditional branches are not predicted (their direction is static).
 #[derive(Debug)]
 pub struct PredictionHarness<P> {
-    predictor: P,
     scoreboard: PredicateScoreboard,
-    /// The configured [`InsertFilter`], lowered at construction to a
-    /// sorted-slice form so the per-event check needs no hashing.
-    insert: LoweredFilter,
-    metrics: PredictionMetrics,
-    timeline: Option<FetchTimeline>,
-    retire_latency: u64,
-    window: Ring<InFlightBranch, WINDOW_CAPACITY>,
-    flush_pending: bool,
+    lane: Lane<P>,
 }
 
 impl<P: BranchPredictor> PredictionHarness<P> {
     /// Creates a harness around `predictor`.
     pub fn new(predictor: P, config: HarnessConfig) -> Self {
         PredictionHarness {
-            predictor,
             scoreboard: PredicateScoreboard::new(config.timing.resolve_latency),
-            insert: config.insert.lower(),
-            metrics: PredictionMetrics::default(),
-            timeline: None,
-            retire_latency: config.timing.retire_latency,
-            window: Ring::new(),
-            flush_pending: false,
+            lane: Lane::new(predictor, &config),
         }
     }
 
@@ -147,78 +309,42 @@ impl<P: BranchPredictor> PredictionHarness<P> {
     /// accounted, giving event-driven cycle counts (see
     /// [`PredictionHarness::timeline`]).
     pub fn with_timeline(mut self, pipeline: PipelineConfig) -> Self {
-        self.timeline = Some(FetchTimeline::new(pipeline));
+        self.lane.timeline = Some(FetchTimeline::new(pipeline));
         self
     }
 
     /// The attached fetch timeline, if any.
     pub fn timeline(&self) -> Option<&FetchTimeline> {
-        self.timeline.as_ref()
+        self.lane.timeline.as_ref()
     }
 
     /// The accumulated metrics.
     pub fn metrics(&self) -> &PredictionMetrics {
-        &self.metrics
+        &self.lane.metrics
     }
 
     /// The driven predictor.
     pub fn predictor(&self) -> &P {
-        &self.predictor
-    }
-
-    /// Retires the oldest in-flight branch: `squash` (on a
-    /// misprediction) then `commit`.
-    fn retire_front(&mut self) {
-        if let Some(entry) = self.window.pop_front() {
-            if entry.predicted != entry.taken {
-                self.predictor
-                    .squash(&entry.info, entry.taken, &self.scoreboard);
-            }
-            self.predictor
-                .commit(&entry.info, entry.taken, &self.scoreboard);
-        }
-    }
-
-    /// Retires every branch whose retire latency has elapsed by
-    /// `fetch_index` — or the whole window if a misprediction flush is
-    /// pending.
-    fn drain_ready(&mut self, fetch_index: u64) {
-        if self.flush_pending {
-            while !self.window.is_empty() {
-                self.retire_front();
-            }
-            self.flush_pending = false;
-            return;
-        }
-        while self
-            .window
-            .front()
-            .is_some_and(|e| e.info.index + self.retire_latency <= fetch_index)
-        {
-            self.retire_front();
-        }
+        &self.lane.predictor
     }
 
     /// Retires all still-in-flight branches. Call once the event stream
     /// ends; without it the tail of the run never trains the predictor.
     pub fn finish(&mut self) {
-        while !self.window.is_empty() {
-            self.retire_front();
-        }
-        self.flush_pending = false;
+        self.lane.finish(&self.scoreboard);
     }
 
     /// Number of branches currently in flight (fetched, not yet
     /// retired).
     pub fn in_flight(&self) -> usize {
-        self.window.len()
+        self.lane.window.len()
     }
 
     /// Consumes the harness, returning predictor and metrics. Retires
     /// any still-in-flight branches first.
     pub fn into_parts(mut self) -> (P, PredictionMetrics) {
         self.finish();
-        (self.predictor, self.metrics)
+        (self.lane.predictor, self.lane.metrics)
     }
 
     /// Drives the harness from a buffered event stream — the
@@ -235,76 +361,220 @@ impl<P: BranchPredictor> PredictionHarness<P> {
     }
 }
 
-impl<P: BranchPredictor> EventSink for PredictionHarness<P> {
-    fn instruction(&mut self, _pc: u32, _index: u64) {
-        if let Some(timeline) = &mut self.timeline {
-            timeline.instruction();
+/// A bank of independent prediction lanes fed by **one** event stream:
+/// the gang-replay counterpart of [`PredictionHarness`]. Where a sweep
+/// previously replayed the same decoded events once per predictor
+/// configuration, a `GangHarness` owns `N` lanes — each with its own
+/// predictor stack, in-flight window, insert filter, and metrics — plus
+/// **one** predicate scoreboard shared by every lane.
+///
+/// The scoreboard can be shared because its state is a pure function of
+/// the event stream and the resolve latency: every lane of a dedicated
+/// per-cell pass would build the identical scoreboard. Sharing it turns
+/// the per-predicate-write query + record from `N×` into `1×`, which
+/// matters because predicated code emits more predicate writes than
+/// branches. The price is that all lanes of one gang must use the same
+/// resolve latency ([`GangHarness::push_lane`] asserts this); retire
+/// latency and insert filter remain free per lane. The sweep runner
+/// already groups cells into gang units by (stream, timing), so the
+/// constraint is invisible there.
+///
+/// # Determinism contract
+///
+/// Apart from the scoreboard — identical by construction to the one a
+/// solo pass builds — lanes share **no** state, so delivering each
+/// event to lane 0, then lane 1, … is observationally identical to
+/// running each lane over the full stream on its own: every lane's
+/// metrics and final predictor state are byte-for-byte what a dedicated
+/// [`PredictionHarness`] pass would have produced. For predicate
+/// writes, every lane processes the event against the pre-write
+/// scoreboard before the write is observed once — exactly the order a
+/// solo harness uses.
+///
+/// Timelines are intentionally unsupported: gang replay rides the
+/// batched event path, which does not forward per-instruction callbacks
+/// (see [`predbranch_sim::Executor::run_batched`]); a cycle-accounting
+/// lane would silently undercount. Cells that need a
+/// [`FetchTimeline`] keep using a single [`PredictionHarness`].
+///
+/// # Examples
+///
+/// ```
+/// use predbranch_core::{GangHarness, Gshare, HarnessConfig, StaticPredictor};
+/// use predbranch_core::PredictorStack;
+///
+/// let mut gang = GangHarness::new();
+/// gang.push_lane(
+///     PredictorStack::Gshare(Gshare::new(10, 10)),
+///     HarnessConfig::default(),
+/// );
+/// gang.push_lane(
+///     PredictorStack::Static(StaticPredictor::Taken),
+///     HarnessConfig::default(),
+/// );
+/// assert_eq!(gang.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct GangHarness<P> {
+    /// Shared by all lanes; created by the first
+    /// [`GangHarness::push_lane`].
+    scoreboard: Option<PredicateScoreboard>,
+    lanes: Vec<Lane<P>>,
+}
+
+impl<P: BranchPredictor> GangHarness<P> {
+    /// Creates an empty gang. Push lanes with
+    /// [`GangHarness::push_lane`] before replaying.
+    pub fn new() -> Self {
+        GangHarness {
+            scoreboard: None,
+            lanes: Vec::new(),
         }
+    }
+
+    /// Appends a lane around `predictor` with its own retire latency
+    /// and insert filter. The first lane's resolve latency creates the
+    /// gang's shared scoreboard; every subsequent lane must use the
+    /// same resolve latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.timing.resolve_latency` differs from the
+    /// first lane's.
+    pub fn push_lane(&mut self, predictor: P, config: HarnessConfig) {
+        let resolve = config.timing.resolve_latency;
+        match &self.scoreboard {
+            None => self.scoreboard = Some(PredicateScoreboard::new(resolve)),
+            Some(sb) => assert_eq!(
+                sb.resolve_latency(),
+                resolve,
+                "gang lanes share one predicate scoreboard: every lane \
+                 must use the same resolve latency"
+            ),
+        }
+        self.lanes.push(Lane::new(predictor, &config));
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when the gang has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Retires every lane's still-in-flight branches. Call once the
+    /// event stream ends (consuming accessors do it for you).
+    pub fn finish(&mut self) {
+        if let Some(scoreboard) = &self.scoreboard {
+            for lane in &mut self.lanes {
+                lane.finish(scoreboard);
+            }
+        }
+    }
+
+    /// Consumes the gang, returning one [`PredictionHarness`] per lane
+    /// (tails retired). Each harness carries a copy of the shared
+    /// scoreboard — the state a dedicated pass would have built — so
+    /// the result is indistinguishable from `N` solo passes.
+    pub fn into_lanes(mut self) -> Vec<PredictionHarness<P>> {
+        self.finish();
+        let scoreboard = self.scoreboard;
+        self.lanes
+            .into_iter()
+            .map(|lane| PredictionHarness {
+                scoreboard: scoreboard
+                    .clone()
+                    .unwrap_or_else(|| PredicateScoreboard::new(DEFAULT_RESOLVE_LATENCY)),
+                lane,
+            })
+            .collect()
+    }
+
+    /// Consumes the gang, returning per-lane metrics in lane order
+    /// (tails retired).
+    pub fn into_metrics(mut self) -> Vec<PredictionMetrics> {
+        self.finish();
+        self.lanes.into_iter().map(|lane| lane.metrics).collect()
+    }
+}
+
+impl<P: BranchPredictor> EventSink for GangHarness<P> {
+    fn instruction(&mut self, _pc: u32, _index: u64) {
+        for lane in &mut self.lanes {
+            lane.instruction();
+        }
+    }
+
+    fn branch(&mut self, event: &BranchEvent) {
+        if !event.conditional {
+            // gang lanes carry no timelines, and unconditional
+            // branches touch nothing else — skip the lane loop
+            return;
+        }
+        if let Some(scoreboard) = &self.scoreboard {
+            // one guard query serves every lane: the scoreboard is
+            // shared and branch processing never mutates it
+            let guard_known_false = scoreboard.query(event.guard, event.index).is_known_false();
+            for lane in &mut self.lanes {
+                lane.branch(event, scoreboard, guard_known_false);
+            }
+        }
+    }
+
+    fn pred_write(&mut self, event: &PredWriteEvent) {
+        // Every lane drains and inserts against the pre-write
+        // scoreboard, then the write becomes visible once — the same
+        // order each solo pass uses.
+        if let Some(scoreboard) = &self.scoreboard {
+            for lane in &mut self.lanes {
+                lane.pred_write(event, scoreboard);
+            }
+        }
+        if let Some(scoreboard) = &mut self.scoreboard {
+            scoreboard.observe(event);
+        }
+    }
+
+    fn events(&mut self, batch: &[Event]) {
+        // Event-major: the shared scoreboard must advance in stream
+        // order, so each event visits every lane before the next event
+        // is delivered.
+        for event in batch {
+            self.event(event);
+        }
+    }
+}
+
+impl<P: BranchPredictor> EventSink for PredictionHarness<P> {
+    #[inline]
+    fn instruction(&mut self, _pc: u32, _index: u64) {
+        self.lane.instruction();
     }
 
     fn branch(&mut self, event: &BranchEvent) {
         if !event.conditional {
             // unconditional branches are not predicted, but a taken
             // branch still fragments fetch
-            if let Some(timeline) = &mut self.timeline {
+            if let Some(timeline) = &mut self.lane.timeline {
                 timeline.taken_branch();
             }
             return;
         }
-        self.drain_ready(event.index);
-        let info = BranchInfo::from_event(event);
-        let predicted = self.predictor.predict(&info, &self.scoreboard);
-        let correct = predicted == event.taken;
-
-        self.metrics.all.record(correct);
-        if event.region.is_some() {
-            self.metrics.region.record(correct);
-        } else {
-            self.metrics.non_region.record(correct);
-        }
-        if self
+        let guard_known_false = self
             .scoreboard
             .query(event.guard, event.index)
-            .is_known_false()
-        {
-            self.metrics.known_false_guard.increment();
-            if !correct {
-                self.metrics.known_false_mispredicted.increment();
-            }
-        }
-
-        if let Some(timeline) = &mut self.timeline {
-            if !correct {
-                timeline.mispredict();
-            } else if event.taken {
-                timeline.taken_branch();
-            }
-        }
-
-        self.predictor.speculate(&info, predicted, &self.scoreboard);
-        if self.window.len() >= WINDOW_CAPACITY {
-            // bounded reorder buffer: make room by retiring the oldest
-            self.retire_front();
-        }
-        self.window.push_back(InFlightBranch {
-            info,
-            predicted,
-            taken: event.taken,
-        });
-        if !correct {
-            self.flush_pending = true;
-        }
+            .is_known_false();
+        self.lane.branch(event, &self.scoreboard, guard_known_false);
     }
 
     fn pred_write(&mut self, event: &PredWriteEvent) {
-        // Retire first, so the scoreboard (and any PGU insertion) still
-        // reflects the pre-write world when older branches commit.
-        self.drain_ready(event.index);
-        self.metrics.pred_writes.increment();
+        // The lane drains and inserts against the pre-write scoreboard;
+        // the write becomes visible only afterwards.
+        self.lane.pred_write(event, &self.scoreboard);
         self.scoreboard.observe(event);
-        if self.insert.passes(event) {
-            self.predictor.on_pred_write(event);
-        }
     }
 }
 
@@ -502,6 +772,90 @@ mod tests {
         }
         assert_eq!(windowed, reference, "predictor state must match");
         assert_eq!(metrics.all.mispredictions.get(), mispredictions);
+    }
+
+    #[test]
+    fn gang_lanes_match_sequential_per_lane_passes() {
+        // Four heterogeneous lanes over one recorded stream must end in
+        // exactly the state four dedicated harness passes produce —
+        // metrics AND predictor tables. Lanes share the gang's resolve
+        // latency (one scoreboard); retire latency and insert filter
+        // vary per lane.
+        let program = assemble(LOOP).unwrap();
+        let mut trace = predbranch_sim::TraceSink::new();
+        Executor::new(&program, Memory::new()).run(&mut trace, 1_000_000);
+        let events: Vec<Event> = trace.events().to_vec();
+
+        let configs = [
+            (Timing::immediate(8), InsertFilter::All),
+            (Timing::new(8, 8), InsertFilter::All),
+            (Timing::new(8, 0), InsertFilter::None),
+            (Timing::new(8, 3), InsertFilter::All),
+        ];
+        let build = |i: usize| Gshare::new(8 + i as u32, 8 + i as u32);
+
+        let mut gang = GangHarness::new();
+        for (i, (timing, insert)) in configs.iter().enumerate() {
+            gang.push_lane(
+                build(i),
+                HarnessConfig {
+                    timing: *timing,
+                    insert: insert.clone(),
+                },
+            );
+        }
+        // deliver in EVENT_BATCH_CAPACITY-sized chunks like replay does
+        for chunk in events.chunks(predbranch_sim::EVENT_BATCH_CAPACITY) {
+            gang.events(chunk);
+        }
+        let lanes = gang.into_lanes();
+
+        for (i, (timing, insert)) in configs.iter().enumerate() {
+            let mut solo = PredictionHarness::new(
+                build(i),
+                HarnessConfig {
+                    timing: *timing,
+                    insert: insert.clone(),
+                },
+            );
+            solo.replay_events(&events);
+            let (reference, metrics) = solo.into_parts();
+            assert_eq!(*lanes[i].metrics(), metrics, "lane {i} metrics");
+            assert_eq!(*lanes[i].predictor(), reference, "lane {i} predictor state");
+        }
+    }
+
+    #[test]
+    fn gang_per_event_and_batched_delivery_agree() {
+        let program = assemble(LOOP).unwrap();
+        let mut trace = predbranch_sim::TraceSink::new();
+        Executor::new(&program, Memory::new()).run(&mut trace, 1_000_000);
+        let events: Vec<Event> = trace.events().to_vec();
+
+        let mut batched = GangHarness::new();
+        let mut per_event = GangHarness::new();
+        for gang in [&mut batched, &mut per_event] {
+            gang.push_lane(Gshare::new(10, 10), HarnessConfig::default());
+            gang.push_lane(Gshare::new(12, 12), HarnessConfig::default());
+        }
+        batched.events(&events);
+        for event in &events {
+            per_event.event(event);
+        }
+        let (b, p) = (batched.into_lanes(), per_event.into_lanes());
+        for i in 0..2 {
+            assert_eq!(b[i].metrics(), p[i].metrics(), "lane {i}");
+            assert_eq!(b[i].predictor(), p[i].predictor(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn empty_gang_is_a_no_op_sink() {
+        let mut gang: GangHarness<Gshare> = GangHarness::new();
+        assert!(gang.is_empty());
+        gang.events(&[]);
+        gang.finish();
+        assert_eq!(gang.into_metrics().len(), 0);
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub use bimodal::Bimodal;
 pub use config::{build_predictor, PredictorSpec};
 pub use filter::{guard_def_pcs, InsertFilter};
 pub use gshare::Gshare;
-pub use harness::{HarnessConfig, PredictionHarness, Timing};
+pub use harness::{GangHarness, HarnessConfig, PredictionHarness, Timing};
 pub use history::{FoldedHistory, GlobalHistory, LongHistory, MAX_LONG_HISTORY};
 pub use hot::HotBranches;
 pub use local::Local;

@@ -56,5 +56,5 @@ mod tage;
 pub use mpp::Mpp;
 pub use predhist::{PredicateHistory, PREDICATE_HISTORY_BITS};
 pub use spec::{build_modern, ModernSpec, ParseModernSpecError};
-pub use stack::{all_stack_variants, build_modern_stack, ModernStack};
+pub use stack::{all_stack_variants, build_modern_bank, build_modern_stack, ModernStack};
 pub use tage::{Tage, MAX_TAGE_TABLES};

@@ -302,6 +302,18 @@ pub fn build_modern_stack(spec: &ModernSpec) -> ModernStack {
     }
 }
 
+/// Builds the predictor bank for a gang-replay unit: one
+/// statically-dispatched [`ModernStack`] lane per spec, in lane order.
+/// This is the per-lane state split the gang path consumes — each lane
+/// is a self-contained stack (no sharing between lanes), so a
+/// `GangHarness` can wrap each in its own in-flight window and advance
+/// all of them over one decoded event pass. The single-stack
+/// [`build_modern_stack`] path is untouched: a bank of one is exactly
+/// one `build_modern_stack` call.
+pub fn build_modern_bank<'a>(specs: impl IntoIterator<Item = &'a ModernSpec>) -> Vec<ModernStack> {
+    specs.into_iter().map(build_modern_stack).collect()
+}
+
 /// Helper: rebuild a classic SFPF spec carrying explicit policy knobs.
 trait WithSfpfPolicy {
     fn with_sfpf_policy(
@@ -373,6 +385,16 @@ mod tests {
             let spec: ModernSpec = text.parse().unwrap();
             let stack = build_modern_stack(&spec);
             assert!(stack.is_statically_dispatched(), "{text} fell back to dyn");
+        }
+    }
+
+    #[test]
+    fn bank_builds_one_lane_per_spec_in_order() {
+        let specs: Vec<ModernSpec> = modern_shapes().iter().map(|t| t.parse().unwrap()).collect();
+        let bank = build_modern_bank(&specs);
+        assert_eq!(bank.len(), specs.len());
+        for (lane, spec) in bank.iter().zip(&specs) {
+            assert_eq!(lane.name(), build_modern_stack(spec).name());
         }
     }
 

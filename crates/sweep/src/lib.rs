@@ -10,7 +10,12 @@
 //!   [`WorkerPool::run_batch`] primitive returns results in submission
 //!   order no matter which worker computed what when, which is the
 //!   whole determinism story: callers aggregate over the returned
-//!   vector exactly as a sequential loop would.
+//!   vector exactly as a sequential loop would. The batch item is
+//!   whatever the caller makes it — since gang replay landed, the
+//!   bench runner schedules *gang units* (all cells sharing one event
+//!   stream and timing, replayed in a single pass) rather than
+//!   individual cells, and flattens each unit's per-lane results back
+//!   into cell submission order.
 //! * [`Checkpoint`] — an append-only, per-line-flushed JSONL journal of
 //!   completed cells keyed by content digests, so an interrupted sweep
 //!   resumes from completed cells only (a torn tail is truncated and

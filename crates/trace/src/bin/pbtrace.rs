@@ -294,6 +294,13 @@ fn stats(args: &[String]) -> Result<(), String> {
         slot.1 += entry.bytes;
     }
 
+    // The in-process decoded-event memo holds DECODED_MEMO_CAPACITY
+    // streams; a directory with more will thrash it (evict + re-decode
+    // on every full sweep). This used to be silent — surface the bound,
+    // whether this directory exceeds it, and this process's traffic.
+    let memo = cache.memo_stats();
+    let memo_exceeded = entries.len() > memo.capacity;
+
     if json {
         let benchmarks: Vec<Json> = per_bench
             .iter()
@@ -309,6 +316,15 @@ fn stats(args: &[String]) -> Result<(), String> {
             .field("entries", entries.len())
             .field("bytes", json_u64(total_bytes))
             .field("corrupt", json_u64(corrupt))
+            .field(
+                "memo",
+                Json::obj()
+                    .field("capacity", memo.capacity)
+                    .field("hits", json_u64(memo.hits))
+                    .field("misses", json_u64(memo.misses))
+                    .field("evictions", json_u64(memo.evictions))
+                    .field("exceeds_capacity", memo_exceeded),
+            )
             .field("benchmarks", Json::Arr(benchmarks));
         println!("{}", doc.pretty());
         return Ok(());
@@ -323,6 +339,25 @@ fn stats(args: &[String]) -> Result<(), String> {
     println!("bytes:     {total_bytes} ({})", human_bytes(total_bytes));
     if corrupt > 0 {
         println!("corrupt:   {corrupt} (unreadable headers)");
+    }
+    println!(
+        "memo:      {} of {} streams decodable at once; this process: \
+         {} hits, {} misses, {} evictions",
+        entries.len().min(memo.capacity),
+        memo.capacity,
+        memo.hits,
+        memo.misses,
+        memo.evictions
+    );
+    if memo_exceeded {
+        println!(
+            "warning:   {} traces exceed the {}-stream decoded-event memo; \
+             per-cell sweeps over the whole directory will evict and \
+             re-decode (gang replay passes each stream once and avoids \
+             the thrash)",
+            entries.len(),
+            memo.capacity
+        );
     }
     println!();
     println!("{:<14} {:>8} {:>14}", "benchmark", "entries", "bytes");

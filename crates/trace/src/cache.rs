@@ -114,12 +114,42 @@ impl CacheKey {
 pub struct TraceCache {
     dir: PathBuf,
     memo: Arc<Mutex<Vec<MemoEntry>>>,
+    memo_counters: Arc<MemoCounters>,
 }
 
 /// Decoded event streams the memo keeps in memory at once. Each entry
 /// holds one trace's full event vector (a few MB for suite-sized runs),
 /// so this bounds the memo to tens of MB worst case.
 pub const DECODED_MEMO_CAPACITY: usize = 8;
+
+/// Decoded-event memo traffic counters, shared by every clone of a
+/// [`TraceCache`] (like the memo itself).
+#[derive(Debug, Default)]
+struct MemoCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A snapshot of the decoded-event memo's traffic (see
+/// [`TraceCache::memo_stats`]). The memo previously thrashed *silently*
+/// once a sweep touched more than [`DECODED_MEMO_CAPACITY`] distinct
+/// streams — every replay decoded from disk again while looking like a
+/// cache hit from the outside. These counters make that visible:
+/// a high `evictions` count alongside repeated `misses` for the same
+/// sweep is the thrash signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Replays served straight from the decoded memo (no file access).
+    pub hits: u64,
+    /// Replay requests the memo could not serve — the stream was never
+    /// decoded, was evicted, or was memoized for a different program.
+    pub misses: u64,
+    /// Entries evicted because the memo was at capacity.
+    pub evictions: u64,
+    /// The memo's stream capacity ([`DECODED_MEMO_CAPACITY`]).
+    pub capacity: usize,
+}
 
 /// One fully decoded, checksum-verified trace held in memory.
 #[derive(Debug, Clone)]
@@ -151,7 +181,20 @@ impl TraceCache {
         Ok(TraceCache {
             dir,
             memo: Arc::new(Mutex::new(Vec::new())),
+            memo_counters: Arc::new(MemoCounters::default()),
         })
+    }
+
+    /// A snapshot of the decoded-event memo's traffic across this cache
+    /// and every clone of it (worker lanes share the counters along
+    /// with the memo).
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.memo_counters.hits.load(Ordering::Relaxed),
+            misses: self.memo_counters.misses.load(Ordering::Relaxed),
+            evictions: self.memo_counters.evictions.load(Ordering::Relaxed),
+            capacity: DECODED_MEMO_CAPACITY,
+        }
     }
 
     /// The cache directory.
@@ -247,18 +290,28 @@ impl TraceCache {
 
     /// A memoized stream for `path`, dropping the entry if it was
     /// decoded for a different program (then the file path is consulted
-    /// again, which re-records on mismatch).
+    /// again, which re-records on mismatch). Every call moves exactly
+    /// one of the hit/miss counters.
     fn memo_lookup(&self, path: &Path, expected_hash: u64) -> Option<MemoEntry> {
         let mut memo = self
             .memo
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let pos = memo.iter().position(|e| e.path == path)?;
-        if memo[pos].program_hash != expected_hash {
-            memo.remove(pos);
-            return None;
-        }
-        Some(memo[pos].clone())
+        let found = match memo.iter().position(|e| e.path == path) {
+            Some(pos) if memo[pos].program_hash != expected_hash => {
+                memo.remove(pos);
+                None
+            }
+            Some(pos) => Some(memo[pos].clone()),
+            None => None,
+        };
+        let counter = if found.is_some() {
+            &self.memo_counters.hits
+        } else {
+            &self.memo_counters.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
     }
 
     fn memo_insert(&self, entry: MemoEntry) {
@@ -269,6 +322,7 @@ impl TraceCache {
         memo.retain(|e| e.path != entry.path);
         if memo.len() >= DECODED_MEMO_CAPACITY {
             memo.remove(0); // evict the oldest
+            self.memo_counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
         memo.push(entry);
     }
@@ -520,6 +574,66 @@ mod tests {
         let oldest = cache.path(&keys[0]);
         assert!(!memo.iter().any(|e| e.path == oldest));
         drop(memo);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_counters_expose_thrash_at_the_stream_bound() {
+        let dir = tmp_dir("counters");
+        let cache = TraceCache::open(&dir).unwrap();
+        let program = toy_program();
+        let fresh = cache.memo_stats();
+        assert_eq!((fresh.hits, fresh.misses, fresh.evictions), (0, 0, 0));
+
+        // one stream, recorded then replayed twice: the record and the
+        // first (decode) replay both miss, the repeat replay hits
+        let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
+        for _ in 0..3 {
+            cache
+                .replay_or_record(
+                    &key,
+                    &program,
+                    Memory::new(),
+                    1_000,
+                    &mut predbranch_sim::NullSink,
+                )
+                .unwrap();
+        }
+        let stats = cache.memo_stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 2, 0));
+        assert_eq!(stats.capacity, DECODED_MEMO_CAPACITY);
+
+        // clones share the counters, like worker lanes share the memo
+        let clone = cache.clone();
+        clone
+            .replay_or_record(
+                &key,
+                &program,
+                Memory::new(),
+                1_000,
+                &mut predbranch_sim::NullSink,
+            )
+            .unwrap();
+        assert_eq!(cache.memo_stats().hits, 2);
+
+        // stream N+1 pushes the memo past its bound: evictions move,
+        // which is the signal that used to be silent
+        for extra in 1..=DECODED_MEMO_CAPACITY as u64 + 1 {
+            let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000 + extra);
+            for _ in 0..2 {
+                cache
+                    .replay_or_record(
+                        &key,
+                        &program,
+                        Memory::new(),
+                        1_000 + extra,
+                        &mut predbranch_sim::NullSink,
+                    )
+                    .unwrap();
+            }
+        }
+        let stats = cache.memo_stats();
+        assert!(stats.evictions > 0, "{stats:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

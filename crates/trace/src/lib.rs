@@ -51,7 +51,7 @@ mod reader;
 mod varint;
 mod writer;
 
-pub use cache::{CacheEntry, CacheKey, TraceCache};
+pub use cache::{CacheEntry, CacheKey, MemoStats, TraceCache, DECODED_MEMO_CAPACITY};
 pub use error::TraceError;
 pub use format::{memory_fingerprint, program_hash, TraceHeader, FORMAT_VERSION, MAGIC};
 pub use reader::{ReplayStats, TraceReader};

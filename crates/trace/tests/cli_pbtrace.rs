@@ -114,6 +114,24 @@ fn stats_json_matches_text_numbers() {
         suite()[0].name()
     );
 
+    // the decoded-event memo block: capacity from the library, no
+    // thrash for a one-trace directory, and a fresh process has no
+    // traffic yet (stats only scans headers)
+    let memo = json.get("memo").unwrap();
+    assert_eq!(
+        memo.get("capacity").unwrap().as_u64(),
+        Some(predbranch_trace::DECODED_MEMO_CAPACITY as u64)
+    );
+    assert_eq!(memo.get("exceeds_capacity").unwrap().render(), "false");
+    assert_eq!(memo.get("hits").unwrap().as_u64(), Some(0));
+    assert_eq!(memo.get("misses").unwrap().as_u64(), Some(0));
+    assert_eq!(memo.get("evictions").unwrap().as_u64(), Some(0));
+    assert!(
+        text_field(&text, "memo").parse::<u64>().is_ok(),
+        "text view lacks a memo line:\n{text}"
+    );
+    assert!(!text.contains("warning:"), "one trace cannot thrash");
+
     fs::remove_dir_all(dir).ok();
 }
 
