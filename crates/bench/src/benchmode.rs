@@ -21,7 +21,7 @@
 //! pipelines in the same process on the same logical stream, the
 //! prediction metrics are asserted identical (the refactor's
 //! byte-identical contract), and the result is written as
-//! `BENCH_6.json` so the perf trajectory accrues in CI.
+//! `BENCH_7.json` so the perf trajectory accrues in CI.
 //!
 //! The report's second section measures **gang replay** — the default
 //! sweep path since the gang refactor. A cache-less sweep used to pay
@@ -30,6 +30,16 @@
 //! lane of a [`GangHarness`]. The bench times a sweep-sized lane
 //! matrix both ways on a live executor pass, asserts the per-lane
 //! metrics identical, and reports the one-pass-over-per-cell speedup.
+//!
+//! The third section measures **trace serving** — the zero-copy `.pbtd`
+//! refactor. A sweep whose stream count exceeds the decoded memo's
+//! capacity thrashes it: with sidecars disabled every replay pays a
+//! full varint decode plus checksum pass (the *cold-memo* case the memo
+//! was never sized for). The bench records [`SERVE_STREAMS`] distinct
+//! streams into an on-disk [`TraceCache`] (more than
+//! [`DECODED_MEMO_CAPACITY`] slots), replays the whole matrix
+//! round-robin under both serving modes, asserts the per-stream
+//! metrics identical, and reports the segment-over-decode speedup.
 
 use std::time::Instant;
 
@@ -39,7 +49,10 @@ use predbranch_core::{
 };
 use predbranch_sim::{Event, EventSink, Executor, TraceSink, EVENT_BATCH_CAPACITY};
 use predbranch_sweep::Json;
-use predbranch_trace::{program_hash, TraceHeader, TraceReader, TraceWriter};
+use predbranch_trace::{
+    program_hash, CacheKey, TraceCache, TraceHeader, TraceReader, TraceWriter,
+    DECODED_MEMO_CAPACITY,
+};
 use predbranch_workloads::{compile_benchmark, suite, CompileOptions, EVAL_SEED};
 
 use crate::runner::DEFAULT_LATENCY;
@@ -53,6 +66,16 @@ pub const HEADLINE_CONFIG: &str = "gshare+sfpf+pgu";
 
 /// Instruction budget for every live executor pass the bench times.
 const BENCH_BUDGET: u64 = 4_000_000;
+
+/// Streams in the trace-serving matrix. Deliberately larger than
+/// [`DECODED_MEMO_CAPACITY`] so the decode-per-replay baseline runs
+/// cold: a round-robin pass over more streams than memo slots evicts
+/// every entry before its next use.
+pub const SERVE_STREAMS: usize = 12;
+
+// the cold-memo claim only means something if a round-robin pass
+// genuinely cannot fit: every replay must miss
+const _: () = assert!(SERVE_STREAMS > DECODED_MEMO_CAPACITY);
 
 /// One measured (config, retire latency) point: both pipelines, same
 /// event stream, same process.
@@ -103,6 +126,35 @@ impl GangPoint {
     }
 }
 
+/// The measured trace-serving point: a stream matrix larger than the
+/// decoded memo, replayed round-robin through the same on-disk
+/// [`TraceCache`] under decode-per-replay (sidecars disabled, memo
+/// thrashing) and segment-served (zero-copy `.pbtd` maps) modes.
+#[derive(Debug, Clone, Copy)]
+pub struct ServePoint {
+    /// Distinct recorded streams in the matrix.
+    pub streams: usize,
+    /// Decoded-memo capacity the cold baseline thrashes.
+    pub memo_streams: usize,
+    /// Events summed over the recorded matrix.
+    pub events: u64,
+    /// Conditional branches per second replaying the matrix with
+    /// sidecars disabled — full varint decode on every replay.
+    pub decode_branches_per_sec: f64,
+    /// The same replays served zero-copy from mapped segments.
+    pub segment_branches_per_sec: f64,
+    /// Conditional-branch mispredictions summed over the matrix
+    /// (asserted identical on both paths).
+    pub mispredictions: u64,
+}
+
+impl ServePoint {
+    /// segment-served over decode-per-replay throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.segment_branches_per_sec / self.decode_branches_per_sec
+    }
+}
+
 /// A complete baseline: the recorded stream's shape plus every point.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -122,6 +174,8 @@ pub struct BenchReport {
     pub gang_lanes: usize,
     /// The gang-vs-per-cell measurements, one per retire latency.
     pub gang_points: Vec<GangPoint>,
+    /// The cold-memo trace-serving measurement.
+    pub serving: ServePoint,
 }
 
 /// The headline predictor configs, in report order.
@@ -364,6 +418,124 @@ fn run_gang_matrix(quick: bool) -> (usize, Vec<GangPoint>) {
     (lanes.len(), points)
 }
 
+/// Measures trace serving on the cold-memo case: [`SERVE_STREAMS`]
+/// distinct streams (more than the memo holds) recorded into an
+/// on-disk cache, then the whole matrix replayed round-robin through a
+/// light harness with sidecars disabled (every replay decodes) and
+/// again segment-served (every replay reads the mapped `.pbtd`).
+///
+/// # Panics
+///
+/// Panics if the two serving modes disagree on any stream's metrics,
+/// if the decode baseline was not actually cold (a memo hit), or if
+/// the segment path fell back to decoding.
+fn run_serving_matrix(quick: bool) -> ServePoint {
+    let bench = &suite()[0];
+    let compiled = compile_benchmark(bench, &CompileOptions::default());
+    let program = compiled.predicated;
+    let streams = SERVE_STREAMS;
+    let memo_streams = DECODED_MEMO_CAPACITY;
+    let iterations: u32 = if quick { 3 } else { 10 };
+    let spec = PredictorSpec::Gshare {
+        index_bits: 10,
+        history_bits: 10,
+    };
+
+    let dir = std::env::temp_dir().join(format!("predbranch-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Record each stream once — distinct seeds, distinct labels. The
+    // recorder has segments enabled, so sidecars publish at record
+    // time, exactly as a sweep's first pass leaves the cache.
+    let recorder = TraceCache::open(&dir).expect("trace cache dir");
+    let inputs: Vec<_> = (0..streams)
+        .map(|i| bench.input(EVAL_SEED + 1 + i as u64))
+        .collect();
+    let keys: Vec<CacheKey> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, memory)| {
+            CacheKey::for_run(format!("serve/{i:02}"), &program, memory, BENCH_BUDGET)
+        })
+        .collect();
+    let mut events = 0u64;
+    let mut branches = 0u64;
+    for (key, memory) in keys.iter().zip(&inputs) {
+        let mut sink = TraceSink::new();
+        let (summary, replayed) = recorder
+            .replay_or_record(key, &program, memory.clone(), BENCH_BUDGET, &mut sink)
+            .expect("stream records");
+        assert!(!replayed, "serve matrix stream was already cached");
+        assert!(summary.halted, "bench workload did not halt within budget");
+        events += sink.events().len() as u64;
+        branches += summary.conditional_branches;
+    }
+    assert_eq!(
+        recorder.serve_stats().segment_builds,
+        streams as u64,
+        "every recorded stream publishes a sidecar"
+    );
+
+    let pass = |cache: &TraceCache| -> Vec<predbranch_core::PredictionMetrics> {
+        keys.iter()
+            .zip(&inputs)
+            .map(|(key, memory)| {
+                let mut harness =
+                    PredictionHarness::new(build_predictor_stack(&spec), harness_config(0));
+                let (summary, replayed) = cache
+                    .replay_or_record(key, &program, memory.clone(), BENCH_BUDGET, &mut harness)
+                    .expect("stream replays");
+                assert!(replayed && summary.halted);
+                harness.finish();
+                *harness.metrics()
+            })
+            .collect()
+    };
+
+    // Path A: the v1 decode pipeline with the memo thrashing — every
+    // replay decodes. Path B: segment-served zero-copy replay.
+    let decode_cache = TraceCache::open(&dir)
+        .expect("trace cache dir")
+        .with_segments(false)
+        .with_memo_capacity(memo_streams);
+    let segment_cache = TraceCache::open(&dir)
+        .expect("trace cache dir")
+        .with_memo_capacity(memo_streams);
+
+    let (decode_metrics, decode_secs) = time_passes(iterations, || pass(&decode_cache));
+    let (segment_metrics, segment_secs) = time_passes(iterations, || pass(&segment_cache));
+    assert_eq!(
+        decode_metrics, segment_metrics,
+        "segment-served and decode-per-replay metrics disagree"
+    );
+    let memo = decode_cache.memo_stats();
+    assert_eq!(
+        memo.hits, 0,
+        "decode baseline was not cold: round-robin over {streams} streams \
+         hit a {memo_streams}-slot memo"
+    );
+    let serve = segment_cache.serve_stats();
+    assert!(
+        serve.segment_replays >= (streams as u64) * u64::from(iterations),
+        "segment path fell back to decoding: {} replays served",
+        serve.segment_replays
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total = branches as f64;
+    ServePoint {
+        streams,
+        memo_streams,
+        events,
+        decode_branches_per_sec: total / decode_secs,
+        segment_branches_per_sec: total / segment_secs,
+        mispredictions: decode_metrics
+            .iter()
+            .map(|m| m.all.mispredictions.get())
+            .sum(),
+    }
+}
+
 /// Runs the full baseline: every config × retire latency, both
 /// pipelines, on one recorded stream.
 ///
@@ -401,6 +573,7 @@ pub fn run_bench(quick: bool) -> BenchReport {
         }
     }
     let (gang_lanes, gang_points) = run_gang_matrix(quick);
+    let serving = run_serving_matrix(quick);
     BenchReport {
         benchmark: fixture.benchmark,
         quick,
@@ -410,6 +583,7 @@ pub fn run_bench(quick: bool) -> BenchReport {
         points,
         gang_lanes,
         gang_points,
+        serving,
     }
 }
 
@@ -429,7 +603,7 @@ impl BenchReport {
     /// ratio at retire latency 0 — the sweep's default timing
     /// ([`predbranch_core::Timing::immediate`]), i.e. the shape every
     /// `experiments all` sweep actually runs, and the number the
-    /// acceptance gate reads out of `BENCH_6.json`. Falls back to the
+    /// acceptance gate reads out of `BENCH_7.json`. Falls back to the
     /// minimum across points if no retire-0 point was measured.
     pub fn gang_speedup(&self) -> f64 {
         self.gang_points
@@ -444,7 +618,14 @@ impl BenchReport {
             })
     }
 
-    /// Renders the machine-readable `BENCH_6.json` document.
+    /// The trace-serving speedup: segment-served over decode-per-replay
+    /// throughput on the cold-memo matrix — the number the acceptance
+    /// gate reads out of `BENCH_7.json`.
+    pub fn serving_speedup(&self) -> f64 {
+        self.serving.speedup()
+    }
+
+    /// Renders the machine-readable `BENCH_7.json` document.
     pub fn to_json(&self) -> Json {
         let results = self
             .points
@@ -472,7 +653,7 @@ impl BenchReport {
             })
             .collect();
         Json::obj()
-            .field("schema", "predbranch-bench/v2")
+            .field("schema", "predbranch-bench/v3")
             .field("benchmark", self.benchmark.as_str())
             .field("quick", self.quick)
             .field("iterations", u64::from(self.iterations))
@@ -491,6 +672,23 @@ impl BenchReport {
                     .field("lanes", self.gang_lanes as u64)
                     .field("results", Json::Arr(gang_results))
                     .field("speedup", self.gang_speedup()),
+            )
+            .field(
+                "trace_serving",
+                Json::obj()
+                    .field("streams", self.serving.streams as u64)
+                    .field("memo_streams", self.serving.memo_streams as u64)
+                    .field("events", self.serving.events)
+                    .field(
+                        "decode_branches_per_sec",
+                        self.serving.decode_branches_per_sec,
+                    )
+                    .field(
+                        "segment_branches_per_sec",
+                        self.serving.segment_branches_per_sec,
+                    )
+                    .field("mispredictions", self.serving.mispredictions)
+                    .field("speedup", self.serving_speedup()),
             )
     }
 
@@ -550,6 +748,25 @@ impl BenchReport {
             "gang headline: {:.2}x one ganged pass over per-cell passes \
              at the sweep default timing (retire 0)",
             self.gang_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "trace serving · {} streams over a {}-slot memo (cold) · {} events",
+            self.serving.streams, self.serving.memo_streams, self.serving.events
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6} {:>14.0} {:>14.0} {:>7.2}x",
+            "serve matrix",
+            "-",
+            self.serving.decode_branches_per_sec,
+            self.serving.segment_branches_per_sec,
+            self.serving_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "serving headline: {:.2}x segment-served over decode-per-replay",
+            self.serving_speedup()
         );
         out
     }
@@ -613,14 +830,23 @@ mod tests {
                     mispredictions: 3,
                 },
             ],
+            serving: ServePoint {
+                streams: 12,
+                memo_streams: 8,
+                events: 120,
+                decode_branches_per_sec: 1.0,
+                segment_branches_per_sec: 3.0,
+                mispredictions: 7,
+            },
         };
         assert!((report.headline_speedup() - 2.5).abs() < 1e-9);
         // the gate reads the retire-0 (sweep default timing) gang ratio
         assert!((report.gang_speedup() - 5.0).abs() < 1e-9);
+        assert!((report.serving_speedup() - 3.0).abs() < 1e-9);
         let json = report.to_json();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
-            Some("predbranch-bench/v2")
+            Some("predbranch-bench/v3")
         );
         assert_eq!(
             json.get("results").and_then(Json::as_arr).map(<[_]>::len),
@@ -641,6 +867,23 @@ mod tests {
             Some(2)
         );
         assert!(gang.get("speedup").is_some());
+        let serving = parsed.get("trace_serving").unwrap();
+        assert_eq!(serving.get("streams").and_then(Json::as_u64), Some(12));
+        assert_eq!(serving.get("memo_streams").and_then(Json::as_u64), Some(8));
+        assert!(serving.get("speedup").is_some());
+    }
+
+    #[test]
+    fn serve_point_speedup_is_segment_over_decode() {
+        let point = ServePoint {
+            streams: 12,
+            memo_streams: 8,
+            events: 1,
+            decode_branches_per_sec: 2.0,
+            segment_branches_per_sec: 9.0,
+            mispredictions: 0,
+        };
+        assert!((point.speedup() - 4.5).abs() < 1e-9);
     }
 
     #[test]

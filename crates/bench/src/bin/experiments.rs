@@ -29,21 +29,80 @@
 //! experiments --gang off all # run one replay pass per cell instead of
 //!                            # ganging stream-sharing cells into one
 //!                            # pass (identical output, for A/B checks)
+//! experiments --shard 0/2 --checkpoint s0.ckpt --manifest s0.json all
+//!                            # run only the gang units this shard owns
+//!                            # (deterministic partition by stream
+//!                            # digest); artifacts are suppressed — the
+//!                            # shard journal/manifest are the product
+//! experiments merge --out merged.ckpt --manifest merged.json \
+//!     s0.ckpt s1.ckpt s0.json s1.json
+//!                            # stitch shard journals (.ckpt) and
+//!                            # manifests (.json) into canonical merged
+//!                            # forms, exactly-once by cell key; a
+//!                            # finalize pass over merged.ckpt then
+//!                            # reprints the sweep byte-identically
+//! experiments --memo-streams 16 --trace-cache .traces all
+//!                            # cap the decoded-event memo (v1-only
+//!                            # fallback path) at 16 streams
 //! experiments --list-stacks  # list every statically-dispatched
 //!                            # predictor stack (generated from the
 //!                            # stack macros, never hand-maintained)
 //! experiments bench --json --quick
 //!                            # measure replay throughput (dyn vs enum,
-//!                            # gang vs per-cell, retire 0 and 8) and
-//!                            # write BENCH_6.json
+//!                            # gang vs per-cell, segment-served vs
+//!                            # decode-per-replay) and write BENCH_7.json
 //! ```
 
 use std::process::ExitCode;
 
 use predbranch_bench::experiments::find_experiment;
-use predbranch_bench::runner::{Dispatch, Gang, RunContext};
+use predbranch_bench::runner::{Dispatch, Gang, RunContext, Shard};
 use predbranch_bench::{all_experiments, benchmode, Scale};
-use predbranch_sweep::ManifestBuilder;
+use predbranch_sweep::{merge_journals, merge_manifests, Json, ManifestBuilder};
+
+/// The `merge` subcommand: stitch shard-scoped journals (`.ckpt`
+/// positionals, merged to `--out`) and manifests (`.json` positionals,
+/// merged to `--manifest`) into their canonical forms. Exactly-once by
+/// content-addressed cell key; conflicting duplicates are refused.
+fn run_merge(
+    out: Option<&str>,
+    manifest_out: Option<&str>,
+    inputs: &[String],
+) -> Result<(), String> {
+    let mut journals: Vec<(String, String)> = Vec::new();
+    let mut manifests: Vec<(String, Json)> = Vec::new();
+    for path in inputs {
+        let read =
+            |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+        if path.ends_with(".ckpt") {
+            journals.push((path.clone(), read(path)?));
+        } else if path.ends_with(".json") {
+            let parsed =
+                Json::parse(&read(path)?).map_err(|e| format!("cannot parse {path}: {e}"))?;
+            manifests.push((path.clone(), parsed));
+        } else {
+            return Err(format!(
+                "merge input {path} is neither a journal (.ckpt) nor a manifest (.json)"
+            ));
+        }
+    }
+    if journals.is_empty() && manifests.is_empty() {
+        return Err("merge needs at least one .ckpt or .json input".into());
+    }
+    if !journals.is_empty() {
+        let out = out.ok_or("merging journals needs --out <merged.ckpt>")?;
+        let (text, report) = merge_journals(&journals)?;
+        std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("merged {} journals -> {out}: {report}", journals.len());
+    }
+    if !manifests.is_empty() {
+        let out = manifest_out.ok_or("merging manifests needs --manifest <merged.json>")?;
+        let (merged, report) = merge_manifests(&manifests)?;
+        std::fs::write(out, merged.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("merged {} manifests -> {out}: {report}", manifests.len());
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,7 +139,18 @@ fn main() -> ExitCode {
             None => Ok(None),
         }
     };
-    let (trace_cache, jobs, manifest_path, checkpoint_path, retire, dispatch, gang, out) = match (
+    let (
+        trace_cache,
+        jobs,
+        manifest_path,
+        checkpoint_path,
+        retire,
+        dispatch,
+        gang,
+        out,
+        shard,
+        memo,
+    ) = match (
         valued("--trace-cache"),
         valued("--jobs"),
         valued("--manifest"),
@@ -89,9 +159,13 @@ fn main() -> ExitCode {
         valued("--dispatch"),
         valued("--gang"),
         valued("--out"),
+        valued("--shard"),
+        valued("--memo-streams"),
     ) {
-        (Ok(tc), Ok(j), Ok(m), Ok(c), Ok(r), Ok(d), Ok(g), Ok(o)) => (tc, j, m, c, r, d, g, o),
-        (tc, j, m, c, r, d, g, o) => {
+        (Ok(tc), Ok(j), Ok(m), Ok(c), Ok(r), Ok(d), Ok(g), Ok(o), Ok(s), Ok(ms)) => {
+            (tc, j, m, c, r, d, g, o, s, ms)
+        }
+        (tc, j, m, c, r, d, g, o, s, ms) => {
             for err in [
                 tc.err(),
                 j.err(),
@@ -101,6 +175,8 @@ fn main() -> ExitCode {
                 d.err(),
                 g.err(),
                 o.err(),
+                s.err(),
+                ms.err(),
             ]
             .into_iter()
             .flatten()
@@ -138,13 +214,37 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let shard: Option<Shard> = match shard.as_deref().map(str::parse).transpose() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--shard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let memo: Option<usize> = match memo.as_deref().map(str::parse).transpose() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("--memo-streams needs a non-negative integer: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.first().map(String::as_str) == Some("merge") {
+        return match run_merge(out.as_deref(), manifest_path.as_deref(), &args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     if args.iter().any(|a| a == "bench") {
         eprintln!("running bench — replay throughput baseline ...");
         let report = benchmode::run_bench(quick);
         print!("{}", report.to_text());
         if json {
-            let path = out.as_deref().unwrap_or("BENCH_6.json");
+            let path = out.as_deref().unwrap_or("BENCH_7.json");
             let body = format!("{}\n", report.to_json().render());
             if let Err(e) = std::fs::write(path, body) {
                 eprintln!("cannot write {path}: {e}");
@@ -159,6 +259,18 @@ fn main() -> ExitCode {
         .with_jobs(jobs)
         .with_dispatch(dispatch)
         .with_gang(gang);
+    if let Some(n) = memo {
+        ctx = ctx.with_memo_streams(n);
+    }
+    if let Some(s) = shard {
+        ctx = ctx.with_shard(s);
+        if checkpoint_path.is_none() {
+            eprintln!(
+                "warning: --shard {s} without --checkpoint discards this shard's results \
+                 (the journal is the product of a sharded run)"
+            );
+        }
+    }
     if let Some(dir) = &trace_cache {
         ctx = match ctx.with_trace_cache(dir) {
             Ok(ctx) => ctx,
@@ -183,8 +295,23 @@ fn main() -> ExitCode {
             }
         };
     }
+    if let (Some(s), Some(_)) = (shard, &checkpoint_path) {
+        // shard provenance in the journal itself: a keyless note line
+        // the loader skips and the merge step drops
+        let note = Json::obj()
+            .field("note", "shard")
+            .field("index", u64::from(s.index))
+            .field("of", u64::from(s.count))
+            .field("command", command.as_str());
+        if let Err(e) = ctx.checkpoint_note(&note) {
+            eprintln!("warning: cannot stamp shard provenance: {e}");
+        }
+    }
     if manifest_path.is_some() {
-        let manifest = ManifestBuilder::new(&command, jobs);
+        let mut manifest = ManifestBuilder::new(&command, jobs);
+        if let Some(s) = shard {
+            manifest = manifest.with_shard(s.index, s.count);
+        }
         manifest.fingerprint(
             "compile-options",
             format!(
@@ -201,8 +328,11 @@ fn main() -> ExitCode {
         println!(
             "usage: experiments [--quick] [--jobs N] [--retire-latency R] \
              [--dispatch enum|dyn] [--gang on|off] [--trace-cache <dir>] \
+             [--memo-streams N] [--shard i/N] \
              [--manifest <file>] [--checkpoint <file>] <id>... | all \
-             | bench [--json] [--out <file>] | --list-stacks\n"
+             | bench [--json] [--out <file>] \
+             | merge --out <merged.ckpt> --manifest <merged.json> <shard files>... \
+             | --list-stacks\n"
         );
         for exp in all_experiments() {
             println!("  {:<4} {}", exp.id, exp.title);
@@ -228,10 +358,18 @@ fn main() -> ExitCode {
 
     for exp in selected {
         eprintln!("running {} — {} ...", exp.id, exp.title);
-        if markdown {
+        if markdown && shard.is_none() {
             println!("## {} — {}\n", exp.id, exp.title);
         }
         for artifact in (exp.run)(&ctx, &scale) {
+            // a shard computes only the cells it owns, so its aggregate
+            // artifacts would mix real numbers with placeholders —
+            // suppress them; the journal/manifest are the product, and
+            // a finalize pass over the merged journal reprints the
+            // sweep byte-identically
+            if shard.is_some() {
+                continue;
+            }
             if markdown {
                 println!("```text\n{artifact}```\n");
             } else {
@@ -245,6 +383,12 @@ fn main() -> ExitCode {
         }
     }
     let stats = ctx.stats();
+    if let Some(s) = shard {
+        eprintln!(
+            "shard {s}: {} cells outside this shard skipped",
+            stats.shard_skips
+        );
+    }
     if trace_cache.is_some() {
         eprintln!(
             "trace cache: {} replays, {} recordings",

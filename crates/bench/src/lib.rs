@@ -21,5 +21,5 @@ pub mod runner;
 pub use experiments::{all_experiments, Artifact, Experiment, Scale};
 pub use runner::{
     compiled_suite, run_spec, run_spec_dispatch, CellSpec, Dispatch, Gang, RunContext, RunOutcome,
-    RunStats, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY,
+    RunStats, Shard, SuiteEntry, DEFAULT_LATENCY, PGU_DELAY,
 };

@@ -115,6 +115,53 @@ impl std::str::FromStr for Gang {
     }
 }
 
+/// One shard of a deterministically partitioned sweep: this process
+/// owns every gang unit whose stream digest satisfies
+/// `digest % count == index`.
+///
+/// Partitioning is by *stream identity* — the same (cache label,
+/// program, input, timing) tuple that gang replay groups by — so a
+/// shard always owns whole gang units and each unit's single
+/// decode/execution pass happens in exactly one process. Cells outside
+/// the shard yield placeholder outcomes and are neither journaled nor
+/// manifested; the per-shard journals and manifests are later stitched
+/// together by `experiments merge`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard index, `0 ≤ index < count`.
+    pub index: u32,
+    /// Total number of shards the sweep is split across.
+    pub count: u32,
+}
+
+impl Shard {
+    /// Whether this shard owns the gang unit with `stream_digest`.
+    pub fn owns(&self, stream_digest: u64) -> bool {
+        stream_digest % u64::from(self.count) == u64::from(self.index)
+    }
+}
+
+impl std::str::FromStr for Shard {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("bad shard `{s}` (expected i/N with 0 <= i < N)");
+        let (index, count) = s.split_once('/').ok_or_else(err)?;
+        let index: u32 = index.parse().map_err(|_| err())?;
+        let count: u32 = count.parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(Shard { index, count })
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
 /// A benchmark plus its two compiled binaries.
 #[derive(Debug)]
 pub struct SuiteEntry {
@@ -324,6 +371,8 @@ struct RunCounters {
     checkpoint_hits: AtomicU64,
     /// Cells executed live (no cache attached).
     live_runs: AtomicU64,
+    /// Cells outside this process's shard, skipped with placeholders.
+    shard_skips: AtomicU64,
 }
 
 /// A snapshot of [`RunContext`] counters.
@@ -337,6 +386,8 @@ pub struct RunStats {
     pub checkpoint_hits: u64,
     /// Cells executed live (no cache attached).
     pub live_runs: u64,
+    /// Cells outside this process's shard (placeholder outcomes).
+    pub shard_skips: u64,
 }
 
 /// Compiled-suite memo: one shared suite per `limit` value.
@@ -357,6 +408,8 @@ pub struct RunContext {
     suites: Arc<Mutex<SuiteMemo>>,
     dispatch: Dispatch,
     gang: Gang,
+    shard: Option<Shard>,
+    memo_streams: Option<usize>,
 }
 
 impl RunContext {
@@ -386,8 +439,37 @@ impl RunContext {
     /// ([`CacheKey::for_run`]), so results are numerically identical to
     /// live simulation.
     pub fn with_trace_cache(mut self, dir: impl AsRef<Path>) -> std::io::Result<Self> {
-        self.cache = Some(TraceCache::open(dir.as_ref())?);
+        let mut cache = TraceCache::open(dir.as_ref())?;
+        if let Some(n) = self.memo_streams {
+            cache = cache.with_memo_capacity(n);
+        }
+        self.cache = Some(cache);
         Ok(self)
+    }
+
+    /// Caps the trace cache's decoded-event memo at `streams`
+    /// concurrently memoized streams (0 disables the memo entirely).
+    /// The memo only serves v1-only cache entries — segment-served
+    /// streams never enter it — so this is a fallback-path knob.
+    pub fn with_memo_streams(mut self, streams: usize) -> Self {
+        self.memo_streams = Some(streams);
+        self.cache = self.cache.take().map(|c| c.with_memo_capacity(streams));
+        self
+    }
+
+    /// Restricts execution to one shard of a deterministically
+    /// partitioned sweep: gang units whose stream digest falls outside
+    /// `shard` are skipped with placeholder outcomes (never journaled,
+    /// never manifested). Aggregate artifacts computed from a sharded
+    /// context are therefore meaningless — the journal is the product.
+    pub fn with_shard(mut self, shard: Shard) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The configured shard, when this context is one of a fleet.
+    pub fn shard(&self) -> Option<Shard> {
+        self.shard
     }
 
     /// Journals every completed cell to `path` and, on reopen, restores
@@ -452,6 +534,15 @@ impl RunContext {
         self.checkpoint.as_ref().map(|c| c.loaded())
     }
 
+    /// Appends a keyless provenance note to the attached checkpoint
+    /// journal (shard identity, command line). A no-op without one.
+    pub fn checkpoint_note(&self, payload: &Json) -> std::io::Result<()> {
+        match &self.checkpoint {
+            Some(checkpoint) => checkpoint.note(payload),
+            None => Ok(()),
+        }
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> RunStats {
         RunStats {
@@ -459,6 +550,7 @@ impl RunContext {
             recordings: self.counters.recordings.load(Ordering::Relaxed),
             checkpoint_hits: self.counters.checkpoint_hits.load(Ordering::Relaxed),
             live_runs: self.counters.live_runs.load(Ordering::Relaxed),
+            shard_skips: self.counters.shard_skips.load(Ordering::Relaxed),
         }
     }
 
@@ -491,8 +583,63 @@ impl RunContext {
         entries
     }
 
+    /// The digest sharding partitions on: the same stream identity gang
+    /// replay groups by — (cache label, program content, input content,
+    /// timing) — so every shard owns whole gang units.
+    fn stream_digest(
+        cache_label: &str,
+        program_digest: u64,
+        memory_digest: u64,
+        timing: Timing,
+    ) -> u64 {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                digest ^= u64::from(b);
+                digest = digest.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(cache_label.as_bytes());
+        mix(&program_digest.to_le_bytes());
+        mix(&memory_digest.to_le_bytes());
+        mix(&timing.resolve_latency.to_le_bytes());
+        mix(&timing.retire_latency.to_le_bytes());
+        digest
+    }
+
+    /// Whether this context's shard (if any) owns `cell`'s stream.
+    fn owns_cell(&self, cell: &CellSpec) -> bool {
+        match self.shard {
+            None => true,
+            Some(shard) => shard.owns(Self::stream_digest(
+                &cell.cache_label,
+                program_hash(&cell.program),
+                memory_fingerprint(&cell.memory),
+                cell.timing,
+            )),
+        }
+    }
+
+    /// The outcome a sharded context returns for cells it does not own:
+    /// empty metrics, an empty-but-halted summary. Recognizably inert,
+    /// and excluded from journals and manifests so the merge step sees
+    /// each cell exactly once.
+    fn shard_placeholder(&self) -> RunOutcome {
+        self.counters.shard_skips.fetch_add(1, Ordering::Relaxed);
+        RunOutcome {
+            metrics: PredictionMetrics::default(),
+            summary: RunSummary {
+                halted: true,
+                ..RunSummary::default()
+            },
+        }
+    }
+
     /// Runs one cell: checkpoint lookup first, then trace-cache replay
-    /// or record, then live execution — whichever applies first.
+    /// or record, then live execution — whichever applies first. In a
+    /// sharded context, cells outside the shard return a placeholder
+    /// (after the checkpoint lookup, so a finalize pass over a merged
+    /// journal restores every cell regardless of sharding).
     ///
     /// # Panics
     ///
@@ -508,6 +655,9 @@ impl RunContext {
                 self.record_manifest(cell, &key, 0, CellSource::Checkpoint);
                 return outcome;
             }
+        }
+        if !self.owns_cell(cell) {
+            return self.shard_placeholder();
         }
         let started = Instant::now();
         let (outcome, source) = self.execute(cell);
@@ -598,6 +748,12 @@ impl RunContext {
                 memory_fingerprint(&cell.memory),
                 cell.timing,
             );
+            if let Some(shard) = self.shard {
+                if !shard.owns(Self::stream_digest(&stream.0, stream.1, stream.2, stream.3)) {
+                    slots[index] = Some(self.shard_placeholder());
+                    continue;
+                }
+            }
             match by_stream.entry(stream) {
                 Entry::Occupied(slot) => units[*slot.get()].push((index, cell)),
                 Entry::Vacant(slot) => {

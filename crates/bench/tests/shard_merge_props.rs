@@ -1,0 +1,145 @@
+//! Sharding must be invisible after the merge: for ANY mix of
+//! predictor specs over any mix of benchmarks, split across ANY shard
+//! count, the merged shard journals and manifests are byte-identical to
+//! the (canonicalized) single-process run's, and a finalize pass over
+//! the merged journal restores every cell to exactly the single-process
+//! outcome. This is the exactly-once contract `experiments merge`
+//! builds on the content-addressed cell keys.
+
+use proptest::prelude::*;
+
+use predbranch_bench::{CellSpec, RunContext, Shard};
+use predbranch_core::{InsertFilter, Timing};
+use predbranch_sweep::{merge_journals, merge_manifests, Json, ManifestBuilder};
+
+/// Classic and modern specs, mirroring the gang-replay property pool.
+const SPEC_POOL: &[&str] = &[
+    "gshare:10/10",
+    "gshare:12/12+sfpf",
+    "gshare:10/10+pgu8",
+    "gshare:10/10+sfpf+pgu8",
+    "bimodal:12",
+    "tage:4/8/48",
+    "pmpp:10",
+];
+
+fn scratch_dir(case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pb-shard-props-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One sampled grid: each element is (spec index, benchmark index).
+fn arb_grid() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0usize..SPEC_POOL.len(), 0usize..2), 1..7)
+}
+
+fn cells_for(ctx: &RunContext, grid: &[(usize, usize)], retire: u64) -> Vec<CellSpec> {
+    let entries = ctx.suite(Some(2));
+    grid.iter()
+        .enumerate()
+        .map(|(i, &(spec_idx, bench_idx))| {
+            let entry = &entries[bench_idx % entries.len()];
+            CellSpec::predicated(
+                entry,
+                format!("props/{}/{i}", entry.compiled.name),
+                SPEC_POOL[spec_idx]
+                    .parse::<predbranch_modern::ModernSpec>()
+                    .expect("pool specs parse"),
+                Timing::immediate(retire),
+                InsertFilter::All,
+            )
+        })
+        .collect()
+}
+
+/// The (journal text, rendered manifest) pair a context produced.
+fn artifacts(dir: &std::path::Path, tag: &str, manifest: &ManifestBuilder) -> (String, String) {
+    let journal = std::fs::read_to_string(dir.join(format!("{tag}.ckpt"))).unwrap();
+    (journal, manifest.finish(None).pretty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random spec mixes × random shard counts merge to the
+    /// single-process record exactly, and finalize reproduces the
+    /// single-process outcomes from the merged journal alone.
+    #[test]
+    fn sharded_runs_merge_to_the_single_process_record(
+        grid in arb_grid(),
+        shards in 1u32..5,
+        retire in prop_oneof![Just(0u64), Just(8u64)],
+        seed in 0u64..1_000,
+    ) {
+        let dir = scratch_dir(seed);
+
+        // the single-process reference run
+        let direct = RunContext::new()
+            .with_checkpoint(dir.join("single.ckpt"))
+            .expect("checkpoint opens")
+            .with_manifest(ManifestBuilder::new("props single", 1));
+        let direct_outcomes = direct.run_cells(cells_for(&direct, &grid, retire));
+        let (direct_journal, direct_manifest) =
+            artifacts(&dir, "single", direct.manifest().unwrap());
+
+        // the sharded fleet: same cells, one context per shard
+        let mut shard_journals = Vec::new();
+        let mut shard_manifests = Vec::new();
+        let mut owned_total = 0u64;
+        for index in 0..shards {
+            let shard = Shard { index, count: shards };
+            let ctx = RunContext::new()
+                .with_shard(shard)
+                .with_checkpoint(dir.join(format!("s{index}.ckpt")))
+                .expect("checkpoint opens")
+                .with_manifest(
+                    ManifestBuilder::new(format!("props shard {shard}"), 1)
+                        .with_shard(index, shards),
+                );
+            let outcomes = ctx.run_cells(cells_for(&ctx, &grid, retire));
+            prop_assert_eq!(outcomes.len(), grid.len());
+            let stats = ctx.stats();
+            owned_total += grid.len() as u64 - stats.shard_skips;
+            let (journal, manifest) =
+                artifacts(&dir, &format!("s{index}"), ctx.manifest().unwrap());
+            shard_journals.push((format!("s{index}.ckpt"), journal));
+            shard_manifests.push((
+                format!("s{index}.json"),
+                Json::parse(&manifest).expect("manifest parses"),
+            ));
+        }
+        // every cell ran in exactly one shard
+        prop_assert_eq!(owned_total, grid.len() as u64);
+
+        // canonical journal forms are byte-identical
+        let (merged_journal, _) = merge_journals(&shard_journals).expect("journal merge");
+        let (canon_single, _) =
+            merge_journals(&[("single.ckpt".into(), direct_journal)]).expect("canonicalize");
+        prop_assert_eq!(&merged_journal, &canon_single);
+
+        // canonical manifest forms are byte-identical
+        let (merged_manifest, _) = merge_manifests(&shard_manifests).expect("manifest merge");
+        let (canon_manifest, _) = merge_manifests(&[(
+            "single.json".into(),
+            Json::parse(&direct_manifest).expect("manifest parses"),
+        )])
+        .expect("canonicalize");
+        prop_assert_eq!(merged_manifest.pretty(), canon_manifest.pretty());
+
+        // finalize: a fresh un-sharded context over the merged journal
+        // restores every cell without running anything
+        std::fs::write(dir.join("merged.ckpt"), &merged_journal).unwrap();
+        let finalize = RunContext::new()
+            .with_checkpoint(dir.join("merged.ckpt"))
+            .expect("checkpoint opens");
+        let restored = finalize.run_cells(cells_for(&finalize, &grid, retire));
+        prop_assert_eq!(restored, direct_outcomes);
+        let stats = finalize.stats();
+        prop_assert_eq!(stats.checkpoint_hits, grid.len() as u64);
+        prop_assert_eq!(stats.live_runs + stats.replays + stats.recordings, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -96,6 +96,19 @@ impl Checkpoint {
         self.completed.len()
     }
 
+    /// Appends a keyless provenance note (e.g. which shard of a
+    /// partitioned sweep owns this journal). The loader skips lines
+    /// without a `"k"` field, so notes never masquerade as completed
+    /// cells, and journal merging drops them from the canonical output.
+    pub fn note(&self, payload: &Json) -> io::Result<()> {
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        writeln!(writer, "{}", payload.render())?;
+        writer.flush()
+    }
+
     /// Appends a completed cell and flushes it to disk before
     /// returning, so the entry survives a kill arriving right after.
     pub fn record(&self, key: &str, wall_ms: u64, payload: &Json) -> io::Result<()> {
@@ -145,6 +158,23 @@ mod tests {
         );
         assert_eq!(reopened.lookup("cell-b").unwrap().as_str(), Some("text"));
         assert!(reopened.lookup("cell-c").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn notes_survive_but_never_load_as_cells() {
+        let path = tmp("notes");
+        let _ = std::fs::remove_file(&path);
+        let ckpt = Checkpoint::open(&path).unwrap();
+        ckpt.note(&Json::obj().field("note", "shard").field("index", 1u64))
+            .unwrap();
+        ckpt.record("cell", 3, &Json::from(7u64)).unwrap();
+        drop(ckpt);
+        let reopened = Checkpoint::open(&path).unwrap();
+        assert_eq!(reopened.loaded(), 1);
+        assert!(reopened.lookup("cell").is_some());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"note\":\"shard\""), "{text}");
         let _ = std::fs::remove_file(&path);
     }
 

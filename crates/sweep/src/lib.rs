@@ -22,7 +22,13 @@
 //!   the affected cell re-runs).
 //! * [`ManifestBuilder`] / [`CellRecord`] — a JSON run record: every
 //!   cell's label, key, result source (live / trace-cache replay /
-//!   recording / checkpoint), and wall-clock, in canonical order.
+//!   recording / checkpoint), and wall-clock, in canonical order, plus
+//!   optional shard provenance for partitioned sweeps.
+//! * [`merge_journals`] / [`merge_manifests`] — stitch the shard-scoped
+//!   journals and manifests of an `experiments --shard i/N` fleet into
+//!   one canonical run record with exactly-once semantics keyed on the
+//!   content-addressed cell keys; the canonical forms are byte-identical
+//!   to a merged single-process run over the same cells.
 //! * [`Json`] — the minimal ordered JSON value the two above share
 //!   (the build environment is offline; serde is not available).
 //!
@@ -37,9 +43,11 @@
 pub mod checkpoint;
 pub mod json;
 pub mod manifest;
+pub mod merge;
 pub mod pool;
 
 pub use checkpoint::Checkpoint;
 pub use json::Json;
 pub use manifest::{CellRecord, CellSource, ManifestBuilder};
+pub use merge::{merge_journals, merge_manifests, MergeReport};
 pub use pool::WorkerPool;

@@ -6,8 +6,9 @@
 //! pbtrace record <file.s> -o <file.pbt> [--seed N] [--budget N]
 //! pbtrace info   <file.pbt> [--json]
 //! pbtrace dump   <file.pbt> [--limit N]
-//! pbtrace verify <file.pbt>
-//! pbtrace stats  <dir> [--json]
+//! pbtrace verify <dir|file.pbt> [--quiet]
+//! pbtrace migrate <dir>
+//! pbtrace stats  <dir> [--json] [--memo-streams N]
 //! pbtrace characterize <dir|file.pbt> [--json] [--jobs N]
 //! pbtrace list
 //! ```
@@ -15,12 +16,18 @@
 //! `record` compiles a suite benchmark (or assembles a `.s` file) and
 //! executes it once, streaming the event trace to disk. `info` prints
 //! the provenance header and footer statistics, `dump` prints events as
-//! text, `verify` fully checks structure, event count, and checksum.
-//! `stats` summarizes a trace-cache directory: entry count, total
-//! bytes, and a per-benchmark breakdown. `characterize` replays each
-//! trace once through the streaming predictability characterizer and
-//! prints the per-static-branch H2P taxonomy; its output is
-//! byte-identical at any `--jobs` level.
+//! text. `verify` fully checks every trace — and its `.pbtd` segment
+//! sidecar, when one exists — under a file or cache directory:
+//! structure, event count, checksums, and sidecar↔trace binding; it
+//! exits non-zero if *any* file fails, and `--quiet` suppresses
+//! per-file OK lines so CI logs only show failures. `migrate` builds
+//! missing (or stale) segment sidecars for existing v1 cache entries in
+//! place — atomic publish, idempotent. `stats` summarizes a trace-cache
+//! directory: entry count, total bytes, segment coverage, and a
+//! per-benchmark breakdown. `characterize` replays each trace once
+//! through the streaming predictability characterizer and prints the
+//! per-static-branch H2P taxonomy; its output is byte-identical at any
+//! `--jobs` level.
 //!
 //! `--json` renders through the same ordered-JSON module the sweep
 //! manifests use, so field order — and therefore the byte stream — is
@@ -42,8 +49,9 @@ const USAGE: &str = "usage:
   pbtrace record <file.s> -o <file.pbt> [--seed N] [--budget N]
   pbtrace info   <file.pbt> [--json]
   pbtrace dump   <file.pbt> [--limit N]
-  pbtrace verify <file.pbt>
-  pbtrace stats  <dir> [--json]
+  pbtrace verify <dir|file.pbt> [--quiet]
+  pbtrace migrate <dir>
+  pbtrace stats  <dir> [--json] [--memo-streams N]
   pbtrace characterize <dir|file.pbt> [--json] [--jobs N]
   pbtrace list";
 
@@ -54,6 +62,7 @@ fn main() -> ExitCode {
         Some("info") => info(&args[1..]),
         Some("dump") => dump(&args[1..]),
         Some("verify") => verify(&args[1..]),
+        Some("migrate") => migrate(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("characterize") => characterize(&args[1..]),
         Some("list") => {
@@ -255,23 +264,154 @@ fn dump(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Verifies one `.pbt` (structure, count, checksum) plus its segment
+/// sidecar when one exists (structure, checksum, record validity,
+/// source binding). Prints one line per checked file; OK lines are
+/// suppressed under `--quiet`. Returns how many of the checked files
+/// failed.
+fn verify_one(path: &std::path::Path, quiet: bool) -> u64 {
+    let shown = path.display();
+    let mut failed = 0u64;
+    match TraceReader::open(path).and_then(|r| {
+        let name = r.header().name.clone();
+        r.verify().map(|stats| (name, stats))
+    }) {
+        Ok((name, stats)) => {
+            if !quiet {
+                println!(
+                    "{shown}: OK ({name}, {} events, checksum {:016x})",
+                    stats.events, stats.checksum
+                );
+            }
+        }
+        Err(e) => {
+            println!("{shown}: FAILED: {e}");
+            failed += 1;
+        }
+    }
+    let seg = predbranch_trace::segment_path(path);
+    if seg.exists() {
+        match predbranch_trace::TraceMap::open_bound(path) {
+            Ok(map) => {
+                if !quiet {
+                    println!(
+                        "{}: OK ({} events, segment-served)",
+                        seg.display(),
+                        map.header().event_count
+                    );
+                }
+            }
+            Err(e) => {
+                println!("{}: FAILED: {e}", seg.display());
+                failed += 1;
+            }
+        }
+    }
+    failed
+}
+
 fn verify(args: &[String]) -> Result<(), String> {
-    let path = one_path(args)?;
-    let reader = TraceReader::open(&path).map_err(|e| format!("{path}: {e}"))?;
-    let name = reader.header().name.clone();
-    let stats = reader
-        .verify()
-        .map_err(|e| format!("{path}: FAILED: {e}"))?;
-    println!(
-        "{path}: OK ({name}, {} events, checksum {:016x})",
-        stats.events, stats.checksum
-    );
+    let mut path: Option<String> = None;
+    let mut quiet = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            p if !p.starts_with('-') && path.is_none() => path = Some(p.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or_else(|| format!("verify needs a cache dir or file\n{USAGE}"))?;
+    let files = trace_files(&path)?;
+    let mut failed = 0u64;
+    for file in &files {
+        failed += verify_one(file, quiet);
+    }
+    if failed > 0 {
+        return Err(format!("{failed} file(s) under {path} failed verification"));
+    }
+    if !quiet {
+        println!("{}: all traces verified", path);
+    }
     Ok(())
 }
 
+/// Builds segment sidecars for every v1 cache entry that lacks a valid
+/// one. Idempotent: entries whose sidecar is already current are
+/// skipped; publication is atomic (temp file + rename), so a crashed or
+/// concurrent migrate never leaves a partial sidecar.
+fn migrate(args: &[String]) -> Result<(), String> {
+    let dir = one_path(args)?;
+    if !std::path::Path::new(&dir).is_dir() {
+        return Err(format!("{dir}: not a directory\n{USAGE}"));
+    }
+    let files = trace_files(&dir)?;
+    let (mut built, mut current, mut failed) = (0u64, 0u64, 0u64);
+    for file in &files {
+        match predbranch_trace::migrate_trace(file) {
+            Ok(predbranch_trace::MigrateOutcome::Built) => {
+                println!("{}: built", predbranch_trace::segment_path(file).display());
+                built += 1;
+            }
+            Ok(predbranch_trace::MigrateOutcome::UpToDate) => {
+                current += 1;
+            }
+            Err(e) => {
+                println!("{}: FAILED: {e}", file.display());
+                failed += 1;
+            }
+        }
+    }
+    println!("migrated {dir}: {built} built, {current} up to date, {failed} failed");
+    if failed > 0 {
+        return Err(format!("{failed} entr(ies) under {dir} failed to migrate"));
+    }
+    Ok(())
+}
+
+/// The `.pbt` files under a path: the file itself, or a directory scan
+/// (sorted). Read-only — never creates directories.
+fn trace_files(path: &str) -> Result<Vec<PathBuf>, String> {
+    let p = std::path::Path::new(path);
+    if p.is_file() {
+        return Ok(vec![p.to_path_buf()]);
+    }
+    if !p.is_dir() {
+        return Err(format!("{path}: no such file or directory"));
+    }
+    let mut files: Vec<PathBuf> = fs::read_dir(p)
+        .map_err(|e| format!("{path}: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|f| {
+            let name = f.file_name().map(|n| n.to_string_lossy().into_owned());
+            name.is_some_and(|n| !n.starts_with('.') && n.ends_with(".pbt"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{path}: no .pbt traces found"));
+    }
+    Ok(files)
+}
+
 fn stats(args: &[String]) -> Result<(), String> {
-    let (dir, json) = path_and_json(args, "stats")?;
-    let cache = predbranch_trace::TraceCache::open(&dir).map_err(|e| format!("{dir}: {e}"))?;
+    let mut dir: Option<String> = None;
+    let mut json = false;
+    let mut memo_streams: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--memo-streams" => memo_streams = Some(parse(&take(&mut it, "--memo-streams")?)?),
+            p if !p.starts_with('-') && dir.is_none() => dir = Some(p.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    let dir = dir.ok_or_else(|| format!("stats needs exactly one path\n{USAGE}"))?;
+    let mut cache = predbranch_trace::TraceCache::open(&dir).map_err(|e| format!("{dir}: {e}"))?;
+    if let Some(n) = memo_streams {
+        cache = cache.with_memo_capacity(n as usize);
+    }
     let entries = cache.scan().map_err(|e| format!("{dir}: {e}"))?;
 
     // group by benchmark: the label's leading component ("gzip-pred-1f"
@@ -294,12 +434,20 @@ fn stats(args: &[String]) -> Result<(), String> {
         slot.1 += entry.bytes;
     }
 
-    // The in-process decoded-event memo holds DECODED_MEMO_CAPACITY
-    // streams; a directory with more will thrash it (evict + re-decode
-    // on every full sweep). This used to be silent — surface the bound,
+    // Segment sidecars make the memo bound moot: segment-served
+    // entries never touch the memo at all. Thrash only threatens the
+    // uncovered remainder, so the warning below is scoped to it.
+    let segments: u64 = entries.iter().filter(|e| e.segment_bytes.is_some()).count() as u64;
+    let segment_bytes: u64 = entries.iter().filter_map(|e| e.segment_bytes).sum();
+
+    // The in-process decoded-event memo holds `capacity` streams
+    // (default DECODED_MEMO_CAPACITY; --memo-streams overrides); more
+    // v1-only streams than that will thrash it (evict + re-decode on
+    // every full sweep). This used to be silent — surface the bound,
     // whether this directory exceeds it, and this process's traffic.
     let memo = cache.memo_stats();
-    let memo_exceeded = entries.len() > memo.capacity;
+    let v1_only = entries.len() as u64 - segments;
+    let memo_exceeded = v1_only > memo.capacity as u64;
 
     if json {
         let benchmarks: Vec<Json> = per_bench
@@ -316,6 +464,12 @@ fn stats(args: &[String]) -> Result<(), String> {
             .field("entries", entries.len())
             .field("bytes", json_u64(total_bytes))
             .field("corrupt", json_u64(corrupt))
+            .field(
+                "segments",
+                Json::obj()
+                    .field("entries", json_u64(segments))
+                    .field("bytes", json_u64(segment_bytes)),
+            )
             .field(
                 "memo",
                 Json::obj()
@@ -341,9 +495,14 @@ fn stats(args: &[String]) -> Result<(), String> {
         println!("corrupt:   {corrupt} (unreadable headers)");
     }
     println!(
-        "memo:      {} of {} streams decodable at once; this process: \
+        "segments:  {segments} of {} entries segment-served ({})",
+        entries.len(),
+        human_bytes(segment_bytes)
+    );
+    println!(
+        "memo:      {} of {} v1-only streams decodable at once; this process: \
          {} hits, {} misses, {} evictions",
-        entries.len().min(memo.capacity),
+        (v1_only as usize).min(memo.capacity),
         memo.capacity,
         memo.hits,
         memo.misses,
@@ -351,11 +510,10 @@ fn stats(args: &[String]) -> Result<(), String> {
     );
     if memo_exceeded {
         println!(
-            "warning:   {} traces exceed the {}-stream decoded-event memo; \
-             per-cell sweeps over the whole directory will evict and \
-             re-decode (gang replay passes each stream once and avoids \
-             the thrash)",
-            entries.len(),
+            "warning:   {v1_only} v1-only traces exceed the {}-stream \
+             decoded-event memo; per-cell sweeps over them will evict and \
+             re-decode (run `pbtrace migrate` to build segment sidecars, \
+             which bypass the memo entirely)",
             memo.capacity
         );
     }

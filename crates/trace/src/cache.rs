@@ -9,15 +9,25 @@
 //! file in the cache directory and are published with an atomic rename —
 //! concurrent runs may duplicate work but never observe a partial trace.
 //!
-//! On top of the on-disk layer sits a small in-process **decoded-event
-//! memo**: the first replay of a trace decodes and verifies the file
-//! once, and every further replay of the same trace (the common case —
-//! a sweep runs many predictor configs per recorded run) is served
-//! straight from memory in [`EVENT_BATCH_CAPACITY`]-sized batches,
-//! skipping file open, decode, and checksum entirely. The memo is
-//! shared by clones of a [`TraceCache`] (so every worker lane of a
-//! sweep hits it) and holds at most [`DECODED_MEMO_CAPACITY`] streams,
-//! evicting the oldest.
+//! Replays are served in preference order:
+//!
+//! 1. **Segment-served** (the default): each sealed `.pbt` gets a
+//!    fixed-stride `.pbtd` sidecar (built at record time, or on the
+//!    first decode of a v1-only entry — self-healing), opened once per
+//!    process as an mmap-backed [`crate::TraceMap`] and replayed as
+//!    borrowed batches straight off the page cache. No per-replay
+//!    decode, no per-replay checksum walk, and memory residency is
+//!    owned by the OS — any number of streams, shared across sharded
+//!    sweep processes.
+//! 2. **Decoded-event memo** (fallback for v1-only caches, e.g. when a
+//!    sidecar build failed): the first replay decodes and verifies the
+//!    file once and memoizes the stream in memory; repeat replays are
+//!    served in [`EVENT_BATCH_CAPACITY`]-sized batches. The memo is
+//!    shared by clones of a [`TraceCache`] (so every worker lane of a
+//!    sweep hits it) and holds at most its configured stream capacity
+//!    ([`DECODED_MEMO_CAPACITY`] by default, `--memo-streams` on the
+//!    CLIs), evicting the oldest.
+//! 3. **Full decode / record**: the v1 varint stream itself.
 
 use std::fs;
 use std::io::{self, Write};
@@ -26,11 +36,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use predbranch_isa::Program;
-use predbranch_sim::{Event, EventSink, Executor, Memory, RunSummary, EVENT_BATCH_CAPACITY};
+use predbranch_sim::{
+    Event, EventSink, Executor, Memory, RunSummary, TraceSink, EVENT_BATCH_CAPACITY,
+};
 
 use crate::error::TraceError;
 use crate::format::{memory_fingerprint, program_hash, Fnv64, TraceHeader};
 use crate::reader::TraceReader;
+use crate::segment::{publish_segment, segment_path, TraceMap};
 use crate::writer::TraceWriter;
 
 /// Identifies one recorded run: a human-readable label plus a content
@@ -114,10 +127,20 @@ impl CacheKey {
 pub struct TraceCache {
     dir: PathBuf,
     memo: Arc<Mutex<Vec<MemoEntry>>>,
+    memo_capacity: usize,
     memo_counters: Arc<MemoCounters>,
+    maps: MapTable,
+    serve_counters: Arc<ServeCounters>,
+    segments_enabled: bool,
 }
 
-/// Decoded event streams the memo keeps in memory at once. Each entry
+/// Open segment maps shared by every clone of a [`TraceCache`], keyed
+/// by trace path. Maps are validated once at open and immutable after,
+/// so concurrent replays share one `Arc<TraceMap>` per stream.
+type MapTable = Arc<Mutex<Vec<(PathBuf, Arc<TraceMap>)>>>;
+
+/// Default number of decoded event streams the memo keeps in memory at
+/// once (override with [`TraceCache::with_memo_capacity`]). Each entry
 /// holds one trace's full event vector (a few MB for suite-sized runs),
 /// so this bounds the memo to tens of MB worst case.
 pub const DECODED_MEMO_CAPACITY: usize = 8;
@@ -131,9 +154,38 @@ struct MemoCounters {
     evictions: AtomicU64,
 }
 
+/// Segment-serving traffic counters, shared by every clone of a
+/// [`TraceCache`].
+#[derive(Debug, Default)]
+struct ServeCounters {
+    replays: AtomicU64,
+    opens: AtomicU64,
+    builds: AtomicU64,
+    rejects: AtomicU64,
+}
+
+/// A snapshot of segment-serving traffic (see
+/// [`TraceCache::serve_stats`]). In a healthy steady-state sweep,
+/// `replays` dominates and `rejects` stays 0; a nonzero `rejects`
+/// means stale or corrupt sidecars were discarded (and rebuilt on the
+/// next decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Replays served zero-copy from an open segment map.
+    pub segment_replays: u64,
+    /// Segment maps opened and validated this process.
+    pub segment_opens: u64,
+    /// Sidecars published (at record time or self-healed on a v1
+    /// decode).
+    pub segment_builds: u64,
+    /// Sidecars rejected as stale, corrupt, or wrong-program (the file
+    /// is removed and rebuilt on the next full decode).
+    pub segment_rejects: u64,
+}
+
 /// A snapshot of the decoded-event memo's traffic (see
 /// [`TraceCache::memo_stats`]). The memo previously thrashed *silently*
-/// once a sweep touched more than [`DECODED_MEMO_CAPACITY`] distinct
+/// once a sweep touched more than its stream capacity in distinct
 /// streams — every replay decoded from disk again while looking like a
 /// cache hit from the outside. These counters make that visible:
 /// a high `evictions` count alongside repeated `misses` for the same
@@ -147,7 +199,8 @@ pub struct MemoStats {
     pub misses: u64,
     /// Entries evicted because the memo was at capacity.
     pub evictions: u64,
-    /// The memo's stream capacity ([`DECODED_MEMO_CAPACITY`]).
+    /// The memo's configured stream capacity
+    /// ([`DECODED_MEMO_CAPACITY`] unless overridden).
     pub capacity: usize,
 }
 
@@ -169,6 +222,9 @@ pub struct CacheEntry {
     pub bytes: u64,
     /// Benchmark label from the trace header (`None` if unreadable).
     pub name: Option<String>,
+    /// Size of the `.pbtd` segment sidecar, if one exists (not
+    /// validated).
+    pub segment_bytes: Option<u64>,
 }
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -181,8 +237,31 @@ impl TraceCache {
         Ok(TraceCache {
             dir,
             memo: Arc::new(Mutex::new(Vec::new())),
+            memo_capacity: DECODED_MEMO_CAPACITY,
             memo_counters: Arc::new(MemoCounters::default()),
+            maps: Arc::new(Mutex::new(Vec::new())),
+            serve_counters: Arc::new(ServeCounters::default()),
+            segments_enabled: true,
         })
+    }
+
+    /// Sets the decoded-event memo's stream capacity (default
+    /// [`DECODED_MEMO_CAPACITY`]; `0` disables the memo). Only affects
+    /// this handle and clones made *after* the call; set it before
+    /// fanning out to worker lanes.
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
+        self.memo_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables segment-served replay (default on). With
+    /// segments off the cache never consults, builds, or publishes
+    /// `.pbtd` sidecars — the pure v1 decode-plus-memo pipeline, kept
+    /// as the A/B baseline for `experiments bench` and for tests of
+    /// the fallback path.
+    pub fn with_segments(mut self, enabled: bool) -> Self {
+        self.segments_enabled = enabled;
+        self
     }
 
     /// A snapshot of the decoded-event memo's traffic across this cache
@@ -193,7 +272,18 @@ impl TraceCache {
             hits: self.memo_counters.hits.load(Ordering::Relaxed),
             misses: self.memo_counters.misses.load(Ordering::Relaxed),
             evictions: self.memo_counters.evictions.load(Ordering::Relaxed),
-            capacity: DECODED_MEMO_CAPACITY,
+            capacity: self.memo_capacity,
+        }
+    }
+
+    /// A snapshot of segment-serving traffic across this cache and
+    /// every clone of it.
+    pub fn serve_stats(&self) -> ServeStats {
+        ServeStats {
+            segment_replays: self.serve_counters.replays.load(Ordering::Relaxed),
+            segment_opens: self.serve_counters.opens.load(Ordering::Relaxed),
+            segment_builds: self.serve_counters.builds.load(Ordering::Relaxed),
+            segment_rejects: self.serve_counters.rejects.load(Ordering::Relaxed),
         }
     }
 
@@ -219,16 +309,17 @@ impl TraceCache {
     /// was a cache hit.
     ///
     /// Replays deliver events in [`EVENT_BATCH_CAPACITY`]-sized batches
-    /// through [`EventSink::events`]. The first replay of a trace
-    /// decodes and verifies the file once and memoizes the stream;
-    /// repeat replays (every further predictor config over the same
-    /// recorded run) are served from memory without touching the file.
-    /// A sink only ever sees events from a stream that verified in
-    /// full.
+    /// through [`EventSink::events`]. Replays prefer the segment
+    /// sidecar (opened once per process, then served zero-copy off the
+    /// page cache); v1-only entries fall back to a full decode whose
+    /// stream is memoized — and, self-healingly, used to build the
+    /// missing sidecar so the next replay is segment-served. A sink
+    /// only ever sees events from a stream that verified in full.
     ///
     /// A present-but-stale or corrupt file (version bump, interrupted
     /// writer from a crashed process, hash mismatch) is treated as a
-    /// miss and atomically re-recorded.
+    /// miss and atomically re-recorded; a stale or corrupt *sidecar*
+    /// is discarded and rebuilt without invalidating the trace.
     pub fn replay_or_record<S: EventSink>(
         &self,
         key: &CacheKey,
@@ -239,6 +330,13 @@ impl TraceCache {
     ) -> Result<(RunSummary, bool), TraceError> {
         let path = self.path(key);
         let expected_hash = program_hash(program);
+        if self.segments_enabled {
+            match self.try_segment_replay(&path, expected_hash, sink) {
+                Ok(Some(summary)) => return Ok((summary, true)),
+                Ok(None) => {} // no usable sidecar; fall through
+                Err(e) => return Err(e),
+            }
+        }
         if let Some(entry) = self.memo_lookup(&path, expected_hash) {
             for chunk in entry.events.chunks(EVENT_BATCH_CAPACITY) {
                 sink.events(chunk);
@@ -257,9 +355,95 @@ impl TraceCache {
         Ok((summary, false))
     }
 
+    /// Serves one replay from the segment sidecar if a usable one
+    /// exists. `Ok(None)` means "no sidecar to serve" (absent, stale,
+    /// corrupt, or wrong-program — invalid files are deleted so the
+    /// next full decode rebuilds them); only real I/O failures
+    /// propagate as errors.
+    fn try_segment_replay<S: EventSink>(
+        &self,
+        path: &Path,
+        expected_hash: u64,
+        sink: &mut S,
+    ) -> Result<Option<RunSummary>, TraceError> {
+        let map = match self.map_lookup(path) {
+            Some(map) => map,
+            None => {
+                let seg = segment_path(path);
+                if !seg.exists() {
+                    return Ok(None);
+                }
+                // Bind against the sealed trace when it still exists;
+                // a sidecar that outlived its trace is still sound to
+                // serve (self-checksummed, program hash checked below).
+                let opened = if path.exists() {
+                    TraceMap::open_bound(path)
+                } else {
+                    TraceMap::open(&seg)
+                };
+                match opened {
+                    Ok(map) => {
+                        self.serve_counters.opens.fetch_add(1, Ordering::Relaxed);
+                        let map = Arc::new(map);
+                        self.map_insert(path, Arc::clone(&map));
+                        map
+                    }
+                    Err(TraceError::Io(e)) => return Err(TraceError::Io(e)),
+                    Err(_invalid) => {
+                        let _ = fs::remove_file(&seg);
+                        self.serve_counters.rejects.fetch_add(1, Ordering::Relaxed);
+                        return Ok(None);
+                    }
+                }
+            }
+        };
+        if map.header().program_hash != expected_hash {
+            self.map_remove(path);
+            let _ = fs::remove_file(segment_path(path));
+            self.serve_counters.rejects.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        let mut buffer = Vec::with_capacity(EVENT_BATCH_CAPACITY);
+        let summary = map.replay(sink, &mut buffer)?;
+        self.serve_counters.replays.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(summary))
+    }
+
+    /// An already-open segment map for `path`, if this process has one.
+    fn map_lookup(&self, path: &Path) -> Option<Arc<TraceMap>> {
+        let maps = self
+            .maps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        maps.iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, m)| Arc::clone(m))
+    }
+
+    fn map_insert(&self, path: &Path, map: Arc<TraceMap>) {
+        let mut maps = self
+            .maps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !maps.iter().any(|(p, _)| p == path) {
+            maps.push((path.to_path_buf(), map));
+        }
+    }
+
+    fn map_remove(&self, path: &Path) {
+        let mut maps = self
+            .maps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        maps.retain(|(p, _)| p != path);
+    }
+
     /// Decodes `path` fully (so corrupt traces deliver *nothing* before
-    /// the fall-through re-records them), feeds the verified stream to
-    /// `sink` in batches, and memoizes it for repeat replays.
+    /// the fall-through re-records them) and feeds the verified stream
+    /// to `sink` in batches. The decoded stream then amortizes future
+    /// replays: with segments enabled it is published as the missing
+    /// sidecar (self-healing a v1-only entry — repeat replays are
+    /// segment-served); otherwise it is memoized in memory.
     fn try_replay<S: EventSink>(
         &self,
         path: &Path,
@@ -279,13 +463,35 @@ impl TraceCache {
         for chunk in events.chunks(EVENT_BATCH_CAPACITY) {
             sink.events(chunk);
         }
-        self.memo_insert(MemoEntry {
-            path: path.to_path_buf(),
-            program_hash: expected_hash,
-            summary: stats.summary,
-            events,
-        });
+        if !(self.segments_enabled && self.build_segment(path, expected_hash, &stats, &events)) {
+            self.memo_insert(MemoEntry {
+                path: path.to_path_buf(),
+                program_hash: expected_hash,
+                summary: stats.summary,
+                events,
+            });
+        }
         Ok(stats.summary)
+    }
+
+    /// Best-effort sidecar publication from an already-decoded stream;
+    /// returns whether it succeeded. Failures (read-only cache dir,
+    /// disk full) leave the v1 entry authoritative — the memo covers
+    /// repeat replays instead.
+    fn build_segment(
+        &self,
+        path: &Path,
+        program_hash: u64,
+        stats: &crate::ReplayStats,
+        events: &[Event],
+    ) -> bool {
+        match publish_segment(path, program_hash, stats.checksum, &stats.summary, events) {
+            Ok(_) => {
+                self.serve_counters.builds.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// A memoized stream for `path`, dropping the entry if it was
@@ -315,12 +521,15 @@ impl TraceCache {
     }
 
     fn memo_insert(&self, entry: MemoEntry) {
+        if self.memo_capacity == 0 {
+            return;
+        }
         let mut memo = self
             .memo
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         memo.retain(|e| e.path != entry.path);
-        if memo.len() >= DECODED_MEMO_CAPACITY {
+        if memo.len() >= self.memo_capacity {
             memo.remove(0); // evict the oldest
             self.memo_counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -345,7 +554,13 @@ impl TraceCache {
             let name = TraceReader::open(&path)
                 .ok()
                 .map(|reader| reader.header().name.clone());
-            entries.push(CacheEntry { path, bytes, name });
+            let segment_bytes = fs::metadata(segment_path(&path)).ok().map(|m| m.len());
+            entries.push(CacheEntry {
+                path,
+                bytes,
+                name,
+                segment_bytes,
+            });
         }
         entries.sort_by(|a, b| a.path.cmp(&b.path));
         Ok(entries)
@@ -358,6 +573,10 @@ impl TraceCache {
     /// named temporary, and whichever rename lands last simply
     /// replaces an identical sealed file — readers never observe a
     /// partial trace.
+    ///
+    /// With segments enabled the events are also collected in memory
+    /// and, once the trace is sealed, published as its `.pbtd` sidecar
+    /// (best effort) so the very first replay is already segment-served.
     fn record<S: EventSink>(
         &self,
         path: &Path,
@@ -373,9 +592,13 @@ impl TraceCache {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
         ));
+        let mut collector = TraceSink::new();
         let result = (|| {
             let mut writer = TraceWriter::create(&tmp, header)?;
-            let summary = {
+            let summary = if self.segments_enabled {
+                let mut tee = ((&mut *sink, &mut collector), &mut writer);
+                Executor::new(program, memory).run(&mut tee, budget)
+            } else {
                 let mut tee = (&mut *sink, &mut writer);
                 Executor::new(program, memory).run(&mut tee, budget)
             };
@@ -394,7 +617,26 @@ impl TraceCache {
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
         }
-        result.map_err(TraceError::Io)
+        let summary = result.map_err(TraceError::Io)?;
+        if self.segments_enabled {
+            // A re-recorded trace invalidates whatever map/sidecar the
+            // old generation had.
+            self.map_remove(path);
+            if let Ok(tail) = crate::segment::trace_tail_checksum(path) {
+                if publish_segment(
+                    path,
+                    header.program_hash,
+                    tail,
+                    &summary,
+                    collector.events(),
+                )
+                .is_ok()
+                {
+                    self.serve_counters.builds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(summary)
     }
 }
 
@@ -506,7 +748,8 @@ mod tests {
     #[test]
     fn memo_serves_repeat_replays_without_the_file() {
         let dir = tmp_dir("memo");
-        let cache = TraceCache::open(&dir).unwrap();
+        // segments off: this test pins the v1 decode-memo fallback path
+        let cache = TraceCache::open(&dir).unwrap().with_segments(false);
         let program = toy_program();
         let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
         cache
@@ -544,7 +787,7 @@ mod tests {
     #[test]
     fn memo_is_bounded_and_evicts_oldest() {
         let dir = tmp_dir("evict");
-        let cache = TraceCache::open(&dir).unwrap();
+        let cache = TraceCache::open(&dir).unwrap().with_segments(false);
         let program = toy_program();
         // record + replay more distinct keys than the memo holds
         let keys: Vec<CacheKey> = (0..DECODED_MEMO_CAPACITY as u64 + 3)
@@ -580,7 +823,7 @@ mod tests {
     #[test]
     fn memo_counters_expose_thrash_at_the_stream_bound() {
         let dir = tmp_dir("counters");
-        let cache = TraceCache::open(&dir).unwrap();
+        let cache = TraceCache::open(&dir).unwrap().with_segments(false);
         let program = toy_program();
         let fresh = cache.memo_stats();
         assert_eq!((fresh.hits, fresh.misses, fresh.evictions), (0, 0, 0));
@@ -658,6 +901,145 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_publishes_a_sidecar_and_replays_are_segment_served() {
+        let dir = tmp_dir("segment");
+        let cache = TraceCache::open(&dir).unwrap();
+        let program = toy_program();
+        let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
+
+        let mut recorded = TraceSink::new();
+        cache
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut recorded)
+            .unwrap();
+        assert!(crate::segment::segment_path(&cache.path(&key)).exists());
+        assert_eq!(cache.serve_stats().segment_builds, 1);
+
+        for _ in 0..2 {
+            let mut sink = TraceSink::new();
+            let (_, hit) = cache
+                .replay_or_record(&key, &program, Memory::new(), 1_000, &mut sink)
+                .unwrap();
+            assert!(hit);
+            assert_eq!(sink.events(), recorded.events());
+        }
+        let stats = cache.serve_stats();
+        assert_eq!(stats.segment_replays, 2);
+        assert_eq!(stats.segment_opens, 1, "map opens once, serves many");
+        // the memo was never consulted: segments short-circuit it
+        assert_eq!(cache.memo_stats().hits + cache.memo_stats().misses, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_only_entry_self_heals_a_sidecar() {
+        let dir = tmp_dir("selfheal");
+        let program = toy_program();
+        let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
+        // record through a segments-off handle: a pure v1 cache entry
+        TraceCache::open(&dir)
+            .unwrap()
+            .with_segments(false)
+            .replay_or_record(
+                &key,
+                &program,
+                Memory::new(),
+                1_000,
+                &mut predbranch_sim::NullSink,
+            )
+            .unwrap();
+
+        let cache = TraceCache::open(&dir).unwrap();
+        assert!(!crate::segment::segment_path(&cache.path(&key)).exists());
+        // first replay falls back to a full decode and builds the sidecar
+        let mut first = TraceSink::new();
+        let (_, hit) = cache
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut first)
+            .unwrap();
+        assert!(hit);
+        assert_eq!(cache.serve_stats().segment_builds, 1);
+        assert!(crate::segment::segment_path(&cache.path(&key)).exists());
+        // repeat replays are segment-served
+        let mut second = TraceSink::new();
+        cache
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut second)
+            .unwrap();
+        assert_eq!(cache.serve_stats().segment_replays, 1);
+        assert_eq!(first.events(), second.events());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_rejected_then_rebuilt() {
+        let dir = tmp_dir("sidecar-corrupt");
+        let cache = TraceCache::open(&dir).unwrap();
+        let program = toy_program();
+        let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000);
+        let mut recorded = TraceSink::new();
+        cache
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut recorded)
+            .unwrap();
+
+        let seg = crate::segment::segment_path(&cache.path(&key));
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        fs::write(&seg, &bytes).unwrap();
+
+        // a fresh handle (no open map) rejects the corrupt sidecar,
+        // serves the replay from a full v1 decode, and rebuilds it
+        let fresh = TraceCache::open(&dir).unwrap();
+        let mut sink = TraceSink::new();
+        let (_, hit) = fresh
+            .replay_or_record(&key, &program, Memory::new(), 1_000, &mut sink)
+            .unwrap();
+        assert!(hit, "the v1 trace is intact: still a replay hit");
+        assert_eq!(sink.events(), recorded.events());
+        let stats = fresh.serve_stats();
+        assert_eq!(stats.segment_rejects, 1);
+        assert_eq!(stats.segment_builds, 1);
+        // and the rebuilt sidecar serves the next replay
+        fresh
+            .replay_or_record(
+                &key,
+                &program,
+                Memory::new(),
+                1_000,
+                &mut predbranch_sim::NullSink,
+            )
+            .unwrap();
+        assert_eq!(fresh.serve_stats().segment_replays, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_capacity_is_configurable() {
+        let dir = tmp_dir("memo-cap");
+        let cache = TraceCache::open(&dir)
+            .unwrap()
+            .with_segments(false)
+            .with_memo_capacity(2);
+        assert_eq!(cache.memo_stats().capacity, 2);
+        let program = toy_program();
+        for extra in 0..3u64 {
+            let key = CacheKey::for_run("toy", &program, &Memory::new(), 1_000 + extra);
+            for _ in 0..2 {
+                cache
+                    .replay_or_record(
+                        &key,
+                        &program,
+                        Memory::new(),
+                        1_000 + extra,
+                        &mut predbranch_sim::NullSink,
+                    )
+                    .unwrap();
+            }
+        }
+        assert_eq!(cache.memo.lock().unwrap().len(), 2);
+        assert!(cache.memo_stats().evictions > 0);
         let _ = fs::remove_dir_all(&dir);
     }
 }

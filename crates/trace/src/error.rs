@@ -46,6 +46,17 @@ pub enum TraceError {
         /// Hash of the program the caller wanted to replay.
         expected: u64,
     },
+    /// A segment sidecar is structurally invalid (bad magic, layout
+    /// canary, size, or header field).
+    BadSegment(&'static str),
+    /// A segment sidecar was built from a different generation of its
+    /// trace (source-checksum binding failed); rebuild it.
+    SegmentStale {
+        /// Source checksum recorded in the segment header.
+        segment: u64,
+        /// Trailing checksum of the sealed trace on disk.
+        trace: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -75,6 +86,14 @@ impl fmt::Display for TraceError {
                 f,
                 "trace was recorded from a different program \
                  (header {stored:#018x}, expected {expected:#018x})"
+            ),
+            TraceError::BadSegment(reason) => {
+                write!(f, "segment sidecar is invalid: {reason}")
+            }
+            TraceError::SegmentStale { segment, trace } => write!(
+                f,
+                "segment sidecar is stale (built from trace {segment:#018x}, \
+                 sealed trace is {trace:#018x})"
             ),
         }
     }

@@ -53,11 +53,11 @@ pub(crate) const TAG_PRED_WRITE: u8 = 0x02;
 /// Tag byte terminating the event section.
 pub(crate) const TAG_END: u8 = 0xE0;
 
-const FLAG_TAKEN: u8 = 1 << 0;
-const FLAG_CONDITIONAL: u8 = 1 << 1;
-const FLAG_HAS_REGION: u8 = 1 << 2;
-const FLAG_VALUE: u8 = 1 << 0;
-const FLAG_GUARD_VALUE: u8 = 1 << 1;
+pub(crate) const FLAG_TAKEN: u8 = 1 << 0;
+pub(crate) const FLAG_CONDITIONAL: u8 = 1 << 1;
+pub(crate) const FLAG_HAS_REGION: u8 = 1 << 2;
+pub(crate) const FLAG_VALUE: u8 = 1 << 0;
+pub(crate) const FLAG_GUARD_VALUE: u8 = 1 << 1;
 
 /// Everything identifying what a trace was recorded from.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -23,9 +23,17 @@
 //!   memory, and instruction budget) with atomic write-then-rename
 //!   publication. `predbranch_bench`'s runner consults it so an entire
 //!   experiment sweep executes each (binary, input) exactly once.
-//! * `pbtrace` — a CLI to record, inspect, dump, and verify trace files
-//!   (`pbtrace record --bench <name> -o out.pbt`, `pbtrace info`,
-//!   `pbtrace dump`, `pbtrace verify`).
+//! * [`TraceMap`] — an mmap-backed view of a fixed-stride `.pbtd`
+//!   **segment sidecar** (built next to each cached `.pbt`), serving
+//!   event batches as borrowed slices straight off the OS page cache:
+//!   no per-replay decode, no per-replay checksum walk, and stream
+//!   residency bounded by the kernel rather than any in-process memo.
+//!   See the `segment` module docs for the layout and the
+//!   alignment/endianness contract.
+//! * `pbtrace` — a CLI to record, inspect, dump, verify, and migrate
+//!   trace files (`pbtrace record --bench <name> -o out.pbt`,
+//!   `pbtrace info`, `pbtrace dump`, `pbtrace verify <dir>`,
+//!   `pbtrace migrate <dir>`).
 //!
 //! # Format (version 1)
 //!
@@ -47,12 +55,20 @@
 mod cache;
 mod error;
 mod format;
+mod mmap;
 mod reader;
+mod segment;
 mod varint;
 mod writer;
 
-pub use cache::{CacheEntry, CacheKey, MemoStats, TraceCache, DECODED_MEMO_CAPACITY};
+pub use cache::{CacheEntry, CacheKey, MemoStats, ServeStats, TraceCache, DECODED_MEMO_CAPACITY};
 pub use error::TraceError;
 pub use format::{memory_fingerprint, program_hash, TraceHeader, FORMAT_VERSION, MAGIC};
+pub use mmap::Mapping;
 pub use reader::{ReplayStats, TraceReader};
+pub use segment::{
+    migrate_trace, publish_segment, segment_path, trace_tail_checksum, MigrateOutcome, RawEvent,
+    SegmentHeader, TraceMap, SEGMENT_EVENT_STRIDE, SEGMENT_EXTENSION, SEGMENT_MAGIC,
+    SEGMENT_VERSION,
+};
 pub use writer::TraceWriter;

@@ -211,6 +211,76 @@ fn characterize_output_matches_golden() {
 }
 
 #[test]
+fn migrate_builds_sidecars_idempotently_and_verify_covers_them() {
+    let dir = scratch_dir("migrate");
+    let trace = record_quick(&dir); // a pre-built v1-only cache entry
+    let dir_str = dir.to_str().unwrap();
+
+    let first = pbtrace(&["migrate", dir_str]);
+    assert!(first.contains("1 built, 0 up to date, 0 failed"), "{first}");
+    assert!(std::path::Path::new(&trace.replace(".pbt", ".pbtd")).exists());
+
+    // idempotent: a second run writes nothing
+    let second = pbtrace(&["migrate", dir_str]);
+    assert!(
+        second.contains("0 built, 1 up to date, 0 failed"),
+        "{second}"
+    );
+
+    // verify now covers the sidecar too, and --quiet suppresses all
+    // success output
+    let verbose = pbtrace(&["verify", dir_str]);
+    assert!(verbose.contains("segment-served"), "{verbose}");
+    assert_eq!(pbtrace(&["verify", dir_str, "--quiet"]), "");
+
+    // stats reports full segment coverage and a configurable memo
+    let json = Json::parse(&pbtrace(&[
+        "stats",
+        dir_str,
+        "--json",
+        "--memo-streams",
+        "3",
+    ]))
+    .unwrap();
+    let segments = json.get("segments").unwrap();
+    assert_eq!(segments.get("entries").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        json.get("memo").unwrap().get("capacity").unwrap().as_u64(),
+        Some(3)
+    );
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn verify_exits_nonzero_on_a_corrupted_segment() {
+    let dir = scratch_dir("verify-corrupt");
+    let trace = record_quick(&dir);
+    let dir_str = dir.to_str().unwrap();
+    pbtrace(&["migrate", dir_str]);
+
+    // flip one byte in the middle of the sidecar's event section
+    let seg = trace.replace(".pbt", ".pbtd");
+    let mut bytes = fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&seg, &bytes).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pbtrace"))
+        .args(["verify", dir_str, "--quiet"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "corrupted segment must fail verify");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stdout.contains(".pbtd"), "{stdout}");
+    // quiet mode: the intact .pbt produced no OK line
+    assert!(!stdout.contains(": OK"), "{stdout}");
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn characterize_rejects_missing_paths() {
     let out = Command::new(env!("CARGO_BIN_EXE_pbtrace"))
         .args(["characterize", "/nonexistent/predbranch-cache"])
